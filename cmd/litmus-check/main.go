@@ -1,0 +1,148 @@
+// Command litmus-check classifies the outcomes of litmus tests under a
+// memory model — the herd-style checking workflow the synthesized suites
+// feed into.
+//
+// Usage:
+//
+//	litmus-check -model tso test.litmus [more.litmus ...]
+//	litmus-check -model scc -all < test.litmus
+//
+// Each input file uses the textual format of internal/litmus.Parse. When
+// the file carries a "forbid:" outcome, the tool reports whether the model
+// indeed forbids it and whether the (test, outcome) pair satisfies the
+// paper's minimality criterion; otherwise (or with -all) it lists every
+// outcome with its verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memsynth"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "tso", "memory model (sc, tso, power, armv7, armv8, scc, c11, hsa)")
+		all       = flag.Bool("all", false, "list every outcome even when a forbid: spec is present")
+		dot       = flag.Bool("dot", false, "emit a Graphviz graph of the forbidden witness")
+		asm       = flag.Bool("asm", false, "emit an assembly/C11 listing of the test")
+	)
+	flag.Parse()
+	emitDOT, emitASM = *dot, *asm
+
+	model, err := memsynth.ModelByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	exitCode := 0
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		if err := checkOne(model, os.Stdin, "<stdin>", *all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+	}
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+			continue
+		}
+		err = checkOne(model, f, path, *all)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+var emitDOT, emitASM bool
+
+func checkOne(model memsynth.Model, r io.Reader, label string, all bool) error {
+	spec, err := memsynth.ParseTest(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	t := spec.Test
+	name := t.Name
+	if name == "" {
+		name = label
+	}
+	fmt.Printf("== %s under %s ==\n%v\n", name, model.Name(), t)
+	if emitASM {
+		if target, ok := memsynth.RenderTargetFor(model.Name()); ok {
+			if listing, err := memsynth.RenderTest(target, t, nil); err == nil {
+				fmt.Println(listing)
+			} else {
+				fmt.Printf("  (no %v listing: %v)\n", target, err)
+			}
+		}
+	}
+
+	outcomes := memsynth.Outcomes(model, t)
+	if len(spec.Forbid) == 0 || all {
+		seen := map[string]bool{}
+		for _, o := range outcomes {
+			key := o.Exec.OutcomeString()
+			verdict := "forbidden"
+			if o.Valid {
+				verdict = "allowed"
+			}
+			line := fmt.Sprintf("  %-9s %s", verdict, key)
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			fmt.Println(line)
+		}
+	}
+	if len(spec.Forbid) == 0 {
+		return nil
+	}
+
+	// A specified outcome is forbidden iff no valid execution matches it.
+	var witness *memsynth.Execution
+	allowed := false
+	for _, o := range outcomes {
+		if !memsynth.MatchesOutcome(o.Exec, spec.Forbid) {
+			continue
+		}
+		if o.Valid {
+			allowed = true
+			break
+		}
+		if witness == nil {
+			witness = o.Exec
+		}
+	}
+	switch {
+	case allowed:
+		fmt.Printf("  specified outcome: ALLOWED (model does not forbid it)\n")
+	case witness == nil:
+		fmt.Printf("  specified outcome: unreachable (no execution matches)\n")
+	default:
+		fmt.Printf("  specified outcome: forbidden\n")
+		verdict := memsynth.CheckMinimal(model, witness)
+		if len(verdict.MinimalFor()) > 0 {
+			names := model.Axioms()
+			for _, i := range verdict.ViolatedAxioms {
+				fmt.Printf("  minimal for axiom: %s\n", names[i].Name)
+			}
+		} else {
+			fmt.Printf("  not minimal: relaxation %v leaves the outcome forbidden\n",
+				verdict.FailingRelaxation)
+		}
+		if emitDOT {
+			fmt.Println(memsynth.RenderDOT(witness))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command suite-compare reproduces the paper's Table 4: it compares a
+// hand-curated baseline suite (Owens x86-TSO, or Cambridge Power) against
+// the synthesized minimal suites, classifying every baseline test as
+// minimal ("Both") or as containing a synthesized minimal subtest
+// ("Baseline only (contains ...)"), and listing the synthesized tests the
+// baseline misses.
+//
+// Usage:
+//
+//	suite-compare -model tso -bound 6
+//	suite-compare -model power -bound 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"memsynth"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "tso", "baseline to compare: tso (Owens) or power (Cambridge)")
+		bound     = flag.Int("bound", 6, "synthesis bound for the comparison suite")
+	)
+	flag.Parse()
+
+	model, err := memsynth.ModelByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var baseline []memsynth.BaselineTest
+	switch *modelName {
+	case "tso":
+		baseline = memsynth.OwensSuite()
+	case "power":
+		baseline = memsynth.CambridgeSuite()
+	default:
+		fmt.Fprintf(os.Stderr, "no baseline suite for model %q\n", *modelName)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Synthesizing %s suites up to %d instructions...\n", model.Name(), *bound)
+	res := memsynth.Synthesize(model, memsynth.Options{MaxEvents: *bound})
+	fmt.Printf("union suite: %d tests (%v)\n\n", len(res.Union.Entries), res.Stats.Elapsed)
+
+	// Classify baseline tests (paper Table 4).
+	matchedKeys := map[string]bool{}
+	bySize := map[int][]string{}
+	for _, bt := range baseline {
+		if bt.Forbidden == nil {
+			continue
+		}
+		size := bt.Test.NumEvents()
+		verdict := memsynth.CheckMinimal(model, bt.Forbidden)
+		switch {
+		case len(verdict.MinimalFor()) > 0:
+			key := memsynth.CanonicalKey(bt.Forbidden)
+			matchedKeys[key] = true
+			inSuite := ""
+			if !res.Union.Has(key) && size <= *bound {
+				inSuite = "  [! missing from synthesized suite]"
+			}
+			bySize[size] = append(bySize[size],
+				fmt.Sprintf("BOTH        %-18s (minimal)%s", bt.Name, inSuite))
+		default:
+			// Find a synthesized subtest it contains.
+			contained := ""
+			for _, e := range res.Union.Entries {
+				if memsynth.Contains(bt.Forbidden, e.Exec) {
+					matchedKeys[e.Key] = true
+					contained = fmt.Sprintf("contains synthesized %v", e.Test)
+					break
+				}
+			}
+			if contained == "" {
+				contained = "NO CONTAINED MINIMAL TEST FOUND"
+			}
+			bySize[size] = append(bySize[size],
+				fmt.Sprintf("BASE ONLY   %-18s (%s)", bt.Name, contained))
+		}
+	}
+
+	var sizes []int
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	fmt.Println("#Insts  classification")
+	for _, s := range sizes {
+		for i, line := range bySize[s] {
+			if i == 0 {
+				fmt.Printf("%5d   %s\n", s, line)
+			} else {
+				fmt.Printf("        %s\n", line)
+			}
+		}
+	}
+
+	// Synthesized tests the baseline does not cover.
+	extra := 0
+	for _, e := range res.Union.Entries {
+		if !matchedKeys[e.Key] {
+			extra++
+		}
+	}
+	fmt.Printf("\nsynthesized-only tests (not in baseline, bound %d): %d of %d\n",
+		*bound, extra, len(res.Union.Entries))
+}

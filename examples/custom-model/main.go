@@ -1,0 +1,76 @@
+// custom-model demonstrates the paper's central promise — the methodology
+// applies to *any* axiomatically specified memory model — by defining a new
+// model through the public API and synthesizing its minimal test suite.
+//
+// The model ("rmo-like") is a relaxed-memory-order flavor: coherence per
+// location, RMW atomicity, and a causality axiom in which only
+// dependencies and full fences (plus external reads-from) are preserved —
+// program order alone orders nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsynth"
+)
+
+func main() {
+	rmo := memsynth.DefineModel("rmo-like",
+		[]memsynth.Axiom{
+			{
+				Name: "sc_per_loc",
+				Holds: func(v *memsynth.View) bool {
+					return v.Com().Union(v.POLoc()).Acyclic()
+				},
+			},
+			{
+				Name: "rmw_atomicity",
+				Holds: func(v *memsynth.View) bool {
+					return v.FRE().Join(v.COE()).Intersect(v.RMW()).IsEmpty()
+				},
+			},
+			{
+				Name: "causality",
+				Holds: func(v *memsynth.View) bool {
+					ordered := v.DepAll().Union(v.FenceRel(memsynth.FSync))
+					return v.RFE().Union(v.CO()).Union(v.FR()).Union(ordered).Acyclic()
+				},
+			},
+		},
+		memsynth.Vocab{
+			Ops: []memsynth.Op{
+				memsynth.R(0), memsynth.W(0), memsynth.F(memsynth.FSync),
+			},
+			RMWOps:   [][2]memsynth.Op{{memsynth.R(0), memsynth.W(0)}},
+			DepTypes: []memsynth.DepType{memsynth.DepData},
+		},
+		memsynth.RelaxSpec{RD: true, DRMW: true},
+	)
+
+	fmt.Println("Table-2 row for the custom model:", memsynth.RelaxationTags(rmo))
+
+	// Under this model plain MP is observable (program order alone orders
+	// nothing).
+	mp := memsynth.NewTest("MP", [][]memsynth.Op{
+		{memsynth.W(0), memsynth.W(1)},
+		{memsynth.R(1), memsynth.R(0)},
+	})
+	relaxed := func(x *memsynth.Execution) bool {
+		return x.ReadValue(2) == 1 && x.ReadValue(3) == 0
+	}
+	fmt.Printf("plain MP relaxed outcome observable: %v\n",
+		memsynth.OutcomeAllowed(rmo, mp, relaxed))
+
+	res := memsynth.Synthesize(rmo, memsynth.Options{MaxEvents: 4})
+	fmt.Printf("\nsynthesized minimal tests (<= 4 instructions): %d\n", len(res.Union.Entries))
+	for _, name := range res.AxiomNames() {
+		fmt.Printf("\naxiom %s (%d tests):\n", name, len(res.PerAxiom[name].Entries))
+		for _, e := range res.PerAxiom[name].Entries {
+			fmt.Printf("  %-45v forbids: %s\n", e.Test, e.Exec.OutcomeString())
+		}
+	}
+	if len(res.Union.Entries) == 0 {
+		log.Fatal("synthesis found nothing — model definition is broken")
+	}
+}

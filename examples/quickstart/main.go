@@ -1,0 +1,44 @@
+// Quickstart: synthesize the complete minimal litmus-test suite for x86-TSO
+// up to four instructions, print each test with the forbidden outcome it
+// pins down, and check one classic test by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsynth"
+)
+
+func main() {
+	tso, err := memsynth.ModelByName("tso")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesize every minimal test with at most 4 instructions.
+	result := memsynth.Synthesize(tso, memsynth.Options{MaxEvents: 4})
+	fmt.Printf("TSO minimal tests (<= 4 instructions): %d\n\n", len(result.Union.Entries))
+	for _, name := range result.AxiomNames() {
+		suite := result.PerAxiom[name]
+		fmt.Printf("axiom %s: %d tests\n", name, len(suite.Entries))
+		for _, e := range suite.Entries {
+			fmt.Printf("  %-40v forbids: %s\n", e.Test, e.Exec.OutcomeString())
+		}
+	}
+
+	// Check a single test the herd way: build MP and classify its
+	// outcomes.
+	mp := memsynth.NewTest("MP", [][]memsynth.Op{
+		{memsynth.W(0), memsynth.W(1)},
+		{memsynth.R(1), memsynth.R(0)},
+	})
+	fmt.Printf("\noutcomes of %v under TSO:\n", mp)
+	for _, o := range memsynth.Outcomes(tso, mp) {
+		verdict := "forbidden"
+		if o.Valid {
+			verdict = "allowed"
+		}
+		fmt.Printf("  %-9s %s\n", verdict, o.Exec.OutcomeString())
+	}
+}

@@ -1,0 +1,93 @@
+// x86-validation drives the litmus-testing workflow the synthesized suites
+// exist for: every TSO-vocabulary program of the Owens x86-TSO baseline
+// suite is executed exhaustively on the operational x86-TSO abstract
+// machine (store buffers + forwarding), and the observed outcome sets are
+// compared against the axiomatic TSO model — a miniature of the
+// black-box-testing loop the paper's introduction motivates, with the
+// operational machine standing in for silicon.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memsynth"
+)
+
+func main() {
+	tso, err := memsynth.ModelByName("tso")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	checked, mismatches := 0, 0
+	for _, bt := range memsynth.OwensSuite() {
+		machine, err := memsynth.RunTSOMachine(bt.Test)
+		if err != nil {
+			// Non-TSO vocabulary (none in this suite) would land here.
+			log.Fatalf("%s: %v", bt.Name, err)
+		}
+
+		// Project the axiomatic valid executions onto the machine's
+		// outcome space: reads-from per read and final write per address.
+		axiomatic := map[string]bool{}
+		for _, o := range memsynth.Outcomes(tso, bt.Test) {
+			if !o.Valid {
+				continue
+			}
+			axiomatic[machineKey(o.Exec)] = true
+		}
+
+		status := "machine == model"
+		extra, missing := 0, 0
+		for k := range machine {
+			if !axiomatic[k] {
+				extra++
+			}
+		}
+		for k := range axiomatic {
+			if _, ok := machine[k]; !ok {
+				missing++
+			}
+		}
+		if extra > 0 || missing > 0 {
+			status = fmt.Sprintf("MISMATCH (machine-only %d, model-only %d)", extra, missing)
+			mismatches++
+		}
+		checked++
+		fmt.Printf("%-20s %2d machine outcomes, %2d axiomatic: %s\n",
+			bt.Name, len(machine), len(axiomatic), status)
+
+		// For forbidden entries, confirm the machine cannot produce the
+		// outcome either.
+		if bt.Forbidden != nil {
+			if _, observed := machine[machineKey(bt.Forbidden)]; observed {
+				fmt.Printf("  !! machine observes the forbidden outcome %s\n",
+					bt.Forbidden.OutcomeString())
+				mismatches++
+			}
+		}
+	}
+	fmt.Printf("\n%d tests checked, %d mismatches\n", checked, mismatches)
+	if mismatches > 0 {
+		log.Fatal("operational/axiomatic divergence — TSO models disagree")
+	}
+}
+
+// machineKey renders an execution in the machine's outcome key format:
+// reads-from per event, then final write per address.
+func machineKey(x *memsynth.Execution) string {
+	key := ""
+	for _, src := range x.RF {
+		key += fmt.Sprintf("%d,", src)
+	}
+	key += "|"
+	for a := 0; a < x.Test.NumAddrs(); a++ {
+		final := -1
+		if a < len(x.CO) && len(x.CO[a]) > 0 {
+			final = x.CO[a][len(x.CO[a])-1]
+		}
+		key += fmt.Sprintf("%d,", final)
+	}
+	return key
+}

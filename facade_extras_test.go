@@ -1,0 +1,128 @@
+package memsynth_test
+
+import (
+	"strings"
+	"testing"
+
+	"memsynth"
+	"memsynth/internal/tsosim"
+)
+
+func TestFacadeRendering(t *testing.T) {
+	mp := memsynth.NewTest("MP", [][]memsynth.Op{
+		{memsynth.W(0), memsynth.W(1)},
+		{memsynth.R(1), memsynth.R(0)},
+	})
+	tso, _ := memsynth.ModelByName("tso")
+	var witness *memsynth.Execution
+	for _, o := range memsynth.Outcomes(tso, mp) {
+		if !o.Valid {
+			witness = o.Exec
+			break
+		}
+	}
+	if witness == nil {
+		t.Fatal("no forbidden outcome for MP")
+	}
+
+	asm, err := memsynth.RenderTest(memsynth.RenderX86, mp, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asm, "MFENCE") && !strings.Contains(asm, "MOV") {
+		t.Errorf("x86 listing suspicious:\n%s", asm)
+	}
+	if !strings.Contains(asm, "exists") {
+		t.Errorf("no exists clause:\n%s", asm)
+	}
+
+	dot := memsynth.RenderDOT(witness)
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "rf") {
+		t.Errorf("DOT output suspicious:\n%s", dot)
+	}
+
+	if target, ok := memsynth.RenderTargetFor("power"); !ok || target != memsynth.RenderPower {
+		t.Error("RenderTargetFor(power) wrong")
+	}
+}
+
+func TestFacadeRandomGenerator(t *testing.T) {
+	tso, _ := memsynth.ModelByName("tso")
+	g := memsynth.NewRandomGenerator(tso, memsynth.RandomOptions{MaxEvents: 4}, 5)
+	sawForbidden := false
+	for i := 0; i < 100; i++ {
+		lt := g.Test()
+		if err := lt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if memsynth.ForbiddenWitness(tso, lt) != nil {
+			sawForbidden = true
+		}
+	}
+	if !sawForbidden {
+		t.Error("random generator produced no forbidden-outcome tests")
+	}
+}
+
+func TestFacadeFaultDetection(t *testing.T) {
+	tso, _ := memsynth.ModelByName("tso")
+	mf := memsynth.F(memsynth.FMFence)
+	suite := []*memsynth.Test{
+		memsynth.NewTest("CoWR", [][]memsynth.Op{{memsynth.W(0), memsynth.R(0)}}),
+		memsynth.NewTest("MP", [][]memsynth.Op{
+			{memsynth.W(0), memsynth.W(1)},
+			{memsynth.R(1), memsynth.R(0)},
+		}),
+		memsynth.NewTest("SB+mfences", [][]memsynth.Op{
+			{memsynth.W(0), mf, memsynth.R(1)},
+			{memsynth.W(1), mf, memsynth.R(0)},
+		}),
+		memsynth.NewTest("RMW+W", [][]memsynth.Op{
+			{memsynth.R(0), memsynth.W(0)},
+			{memsynth.W(0)},
+		}, memsynth.WithRMW(0, 0)),
+	}
+	rows := memsynth.FaultDetectionMatrix(tso, suite)
+	if len(rows) != 1+len(memsynth.AllMachineFaults()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	detected := 0
+	for _, row := range rows {
+		if row.Fault.String() == "none" {
+			if row.Detected {
+				t.Error("false positive on correct machine")
+			}
+			continue
+		}
+		if row.Detected {
+			detected++
+		}
+	}
+	if detected != len(memsynth.AllMachineFaults()) {
+		t.Errorf("suite detected %d of %d faults", detected, len(memsynth.AllMachineFaults()))
+	}
+}
+
+func TestFacadeCheckImplementation(t *testing.T) {
+	tso, _ := memsynth.ModelByName("tso")
+	mp := memsynth.NewTest("MP", [][]memsynth.Op{
+		{memsynth.W(0), memsynth.W(1)},
+		{memsynth.R(1), memsynth.R(0)},
+	})
+	violations, err := memsynth.CheckImplementation(tso, mp, memsynth.RunTSOMachine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("correct machine flagged: %v", violations)
+	}
+	violations, err = memsynth.CheckImplementation(tso, mp, func(lt *memsynth.Test) (map[string]tsosim.Outcome, error) {
+		return memsynth.RunTSOMachineFaulty(lt, tsosim.FaultNonFIFOBuffer)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) == 0 {
+		t.Error("non-FIFO machine not flagged by MP")
+	}
+}

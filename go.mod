@@ -1,0 +1,3 @@
+module memsynth
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package canon canonicalizes litmus tests and executions for symmetry
+// reduction (paper §5.1). Two tests that differ only by a permutation of
+// threads, a renaming of addresses, or a renaming of scope groups receive
+// the same canonical key, so only one representative of each symmetry class
+// is emitted by the synthesizer.
+//
+// The approach extends Mador-Haim et al. (2010) as the paper does — the
+// encoding covers memory orders, fence kinds, scopes, dependencies, and RMW
+// pairing — and, unlike the paper's hash-based canonicalizer, performs a
+// full search over thread permutations, which also removes the WWC
+// duplicate the paper reports as a known limitation (§6.1, Fig. 14).
+package canon
+
+import (
+	"fmt"
+	"strings"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// Key returns the canonical key of the (test, execution) pair: the
+// lexicographically least encoding over all thread permutations, with
+// addresses and groups renamed in first-use order.
+func Key(x *exec.Execution) string {
+	return minimalEncoding(x.Test, x)
+}
+
+// ProgramKey returns the canonical key of the test alone (ignoring any
+// execution).
+func ProgramKey(t *litmus.Test) string {
+	return minimalEncoding(t, nil)
+}
+
+func minimalEncoding(t *litmus.Test, x *exec.Execution) string {
+	numThreads := t.NumThreads()
+	best := ""
+	perm := make([]int, numThreads)
+	for i := range perm {
+		perm[i] = i
+	}
+	forEachPerm(perm, func(p []int) {
+		enc := encode(t, x, p)
+		if best == "" || enc < best {
+			best = enc
+		}
+	})
+	return best
+}
+
+func forEachPerm(items []int, visit func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(items) {
+			visit(items)
+			return
+		}
+		for i := k; i < len(items); i++ {
+			items[k], items[i] = items[i], items[k]
+			rec(k + 1)
+			items[k], items[i] = items[i], items[k]
+		}
+	}
+	rec(0)
+}
+
+// encode renders the test (and execution) under the given thread
+// permutation: perm[newThread] = oldThread.
+func encode(t *litmus.Test, x *exec.Execution, perm []int) string {
+	// New global IDs: events of perm[0] first, in program order, etc.
+	newID := make([]int, len(t.Events))
+	var order []int // old IDs in new order
+	for _, oldTh := range perm {
+		for _, id := range t.Thread(oldTh) {
+			newID[id] = len(order)
+			order = append(order, id)
+		}
+	}
+
+	// Addresses renamed in first-use order.
+	addrRename := map[int]int{}
+	addrOf := func(a int) int {
+		if a < 0 {
+			return -1
+		}
+		if r, ok := addrRename[a]; ok {
+			return r
+		}
+		r := len(addrRename)
+		addrRename[a] = r
+		return r
+	}
+
+	// Groups renamed in first-use order of the permuted threads.
+	groupRename := map[int]int{}
+	groupOf := func(oldTh int) int {
+		g := t.GroupOf(oldTh)
+		if r, ok := groupRename[g]; ok {
+			return r
+		}
+		r := len(groupRename)
+		groupRename[g] = r
+		return r
+	}
+
+	var b strings.Builder
+	for newTh, oldTh := range perm {
+		fmt.Fprintf(&b, "T%d,g%d:", newTh, groupOf(oldTh))
+		for _, id := range t.Thread(oldTh) {
+			e := t.Events[id]
+			fmt.Fprintf(&b, "[k%do%df%ds%da%d]",
+				e.Kind, e.Order, e.Fence, e.Scope, addrOf(e.Addr))
+		}
+		b.WriteByte(';')
+	}
+
+	// Deps and RMW pairs in new-ID order.
+	b.WriteString("D")
+	for _, d := range sortedPairs3(t.Deps, newID) {
+		fmt.Fprintf(&b, "(%d,%d,%d)", d[0], d[1], d[2])
+	}
+	b.WriteString("M")
+	for _, p := range sortedPairs2(t.RMW, newID) {
+		fmt.Fprintf(&b, "(%d,%d)", p[0], p[1])
+	}
+
+	if x == nil {
+		return b.String()
+	}
+
+	// rf per read in new order.
+	b.WriteString("R")
+	for _, id := range order {
+		if t.Events[id].Kind != litmus.KRead {
+			continue
+		}
+		src := x.RF[id]
+		if src < 0 {
+			b.WriteString("(i)")
+		} else {
+			fmt.Fprintf(&b, "(%d)", newID[src])
+		}
+	}
+	// co per canonical address: renamed addresses enumerate in first-use
+	// order, so emit in that order. Invert addrRename: canonical -> old.
+	b.WriteString("C")
+	inv := make([]int, len(addrRename))
+	for old, canon := range addrRename {
+		inv[canon] = old
+	}
+	for canonAddr := 0; canonAddr < len(inv); canonAddr++ {
+		oldAddr := inv[canonAddr]
+		b.WriteByte('|')
+		if oldAddr < len(x.CO) {
+			for _, w := range x.CO[oldAddr] {
+				fmt.Fprintf(&b, "%d,", newID[w])
+			}
+		}
+	}
+	// sc order.
+	if x.SC != nil {
+		b.WriteString("S")
+		for _, f := range x.SC {
+			fmt.Fprintf(&b, "%d,", newID[f])
+		}
+	}
+	return b.String()
+}
+
+func sortedPairs3(deps []litmus.Dep, newID []int) [][3]int {
+	out := make([][3]int, 0, len(deps))
+	for _, d := range deps {
+		out = append(out, [3]int{newID[d.From], newID[d.To], int(d.Type)})
+	}
+	sortTriples(out)
+	return out
+}
+
+func sortedPairs2(pairs [][2]int, newID []int) [][2]int {
+	out := make([][2]int, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, [2]int{newID[p[0]], newID[p[1]]})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less2(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortTriples(xs [][3]int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less3(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func less2(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func less3(a, b [3]int) bool {
+	for i := 0; i < 3; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,382 @@
+// Package diy implements a critical-cycle litmus-test generator in the
+// style of the diy tool (Alglave et al. 2010), which the paper contrasts
+// with its own synthesis approach (§2.1): diy builds tests from
+// user-supplied sequences of "relaxations" (candidate cycle edges), whereas
+// the paper's technique enumerates the complete space and filters by the
+// minimality criterion.
+//
+// The generator is used as a baseline: it enumerates all well-formed
+// critical cycles over an edge alphabet, realizes each as a litmus test
+// plus the execution that witnesses the cycle, and the benchmark harness
+// compares the resulting suites (coverage, redundancy, minimality rate)
+// against the synthesized ones.
+package diy
+
+import (
+	"fmt"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// EdgeKind is the vocabulary of critical-cycle edges.
+type EdgeKind uint8
+
+const (
+	// Rfe is an external reads-from edge: W -> R, same address, new thread.
+	Rfe EdgeKind = iota
+	// Fre is an external from-reads edge: R -> W, same address, new thread.
+	Fre
+	// Coe is an external coherence edge: W -> W, same address, new thread.
+	Coe
+	// PodWW..PodRR are program-order edges to a different address.
+	PodWW
+	PodWR
+	PodRW
+	PodRR
+	// PosWW..PosRR are program-order edges to the same address.
+	PosWW
+	PosWR
+	PosRW
+	PosRR
+	// DpAddrdR / DpAddrdW are address dependencies to a different address.
+	DpAddrdR
+	DpAddrdW
+	// DpDatadW is a data dependency to a (different-address) write.
+	DpDatadW
+	// DpCtrldW is a control dependency to a (different-address) write.
+	DpCtrldW
+	// FencedWW.. are program-order edges to a different address with a
+	// fence in between; the fence kind is carried by Edge.Fence.
+	FencedWW
+	FencedWR
+	FencedRW
+	FencedRR
+
+	numEdgeKinds = int(FencedRR) + 1
+)
+
+var edgeNames = [...]string{
+	"Rfe", "Fre", "Coe",
+	"PodWW", "PodWR", "PodRW", "PodRR",
+	"PosWW", "PosWR", "PosRW", "PosRR",
+	"DpAddrdR", "DpAddrdW", "DpDatadW", "DpCtrldW",
+	"FencedWW", "FencedWR", "FencedRW", "FencedRR",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeNames) {
+		return edgeNames[k]
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// Edge is one cycle constituent: an edge kind plus, for fenced edges, the
+// fence kind.
+type Edge struct {
+	Kind  EdgeKind
+	Fence litmus.FenceKind
+}
+
+func (e Edge) String() string {
+	if e.Fence != litmus.FNone {
+		return fmt.Sprintf("%v[%v]", e.Kind, e.Fence)
+	}
+	return e.Kind.String()
+}
+
+// external reports whether the edge crosses threads.
+func (e Edge) external() bool {
+	switch e.Kind {
+	case Rfe, Fre, Coe:
+		return true
+	}
+	return false
+}
+
+// sameAddr reports whether source and target share an address.
+func (e Edge) sameAddr() bool {
+	switch e.Kind {
+	case Rfe, Fre, Coe, PosWW, PosWR, PosRW, PosRR:
+		return true
+	}
+	return false
+}
+
+// srcKind / dstKind give the event kinds the edge requires.
+func (e Edge) srcKind() litmus.Kind {
+	switch e.Kind {
+	case Rfe, Coe, PodWW, PodWR, PosWW, PosWR, FencedWW, FencedWR:
+		return litmus.KWrite
+	default:
+		return litmus.KRead
+	}
+}
+
+func (e Edge) dstKind() litmus.Kind {
+	switch e.Kind {
+	case Rfe, PodWR, PodRR, PosWR, PosRR, DpAddrdR, FencedWR, FencedRR:
+		return litmus.KRead
+	default:
+		return litmus.KWrite
+	}
+}
+
+// depType returns the dependency flavor of a dependency edge, or false.
+func (e Edge) depType() (litmus.DepType, bool) {
+	switch e.Kind {
+	case DpAddrdR, DpAddrdW:
+		return litmus.DepAddr, true
+	case DpDatadW:
+		return litmus.DepData, true
+	case DpCtrldW:
+		return litmus.DepCtrl, true
+	}
+	return 0, false
+}
+
+// Realize turns a cycle of edges into a litmus test together with the
+// execution witnessing the cycle, or an error when the cycle is not
+// well-formed (kind conflicts at a joint, no external edge, inconsistent
+// address pattern, or more than two writes to one address).
+func Realize(name string, cycle []Edge) (*exec.Execution, error) {
+	n := len(cycle)
+	if n < 2 {
+		return nil, fmt.Errorf("diy: cycle of length %d", n)
+	}
+	// Rotate so the last edge is external (thread boundary at the wrap).
+	rot := -1
+	for i := n - 1; i >= 0; i-- {
+		if cycle[i].external() {
+			rot = i
+			break
+		}
+	}
+	if rot == -1 {
+		return nil, fmt.Errorf("diy: cycle has no external edge")
+	}
+	rotated := make([]Edge, 0, n)
+	rotated = append(rotated, cycle[rot+1:]...)
+	rotated = append(rotated, cycle[:rot+1]...)
+	cycle = rotated
+
+	// Event i is the source of cycle[i]; cycle[i] targets event i+1 mod n.
+	// Kinds must agree at each joint.
+	kinds := make([]litmus.Kind, n)
+	for i, e := range cycle {
+		kinds[i] = e.srcKind()
+	}
+	for i, e := range cycle {
+		if kinds[(i+1)%n] != e.dstKind() {
+			return nil, fmt.Errorf("diy: kind conflict after %v", e)
+		}
+	}
+
+	// Addresses: as in diy, the distinct locations are as many as the
+	// different-address edges, and the walk cycles through them modulo
+	// that count — which makes the wrap-around consistent by construction.
+	numDiff := 0
+	for _, e := range cycle {
+		if !e.sameAddr() {
+			numDiff++
+		}
+	}
+	addrs := make([]int, n)
+	cur := 0
+	for i := 0; i < n-1; i++ {
+		if !cycle[i].sameAddr() {
+			cur = (cur + 1) % numDiff
+		}
+		addrs[i+1] = cur
+	}
+	// The wrap edge closes back to address 0 by the modulo arithmetic;
+	// reject the degenerate case where a same-address wrap would tie two
+	// different walk addresses together.
+	if cycle[n-1].sameAddr() && addrs[n-1] != addrs[0] {
+		return nil, fmt.Errorf("diy: inconsistent address pattern at wrap")
+	}
+	if !cycle[n-1].sameAddr() && addrs[n-1] == addrs[0] {
+		return nil, fmt.Errorf("diy: different-address wrap closes on one address")
+	}
+
+	// Threads: internal edges extend the current thread; external edges
+	// start a new one. The wrap edge is external by construction.
+	threadOf := make([]int, n)
+	th := 0
+	for i := 1; i < n; i++ {
+		if cycle[i-1].external() {
+			th++
+		}
+		threadOf[i] = th
+	}
+
+	// Build per-thread op lists (inserting fence events for fenced edges)
+	// and record each event's position.
+	numThreads := th + 1
+	threads := make([][]litmus.Op, numThreads)
+	pos := make([][2]int, n) // (thread, index) per cycle event
+	var opts []litmus.Option
+	for i := 0; i < n; i++ {
+		t := threadOf[i]
+		var op litmus.Op
+		if kinds[i] == litmus.KRead {
+			op = litmus.R(addrs[i])
+		} else {
+			op = litmus.W(addrs[i])
+		}
+		threads[t] = append(threads[t], op)
+		pos[i] = [2]int{t, len(threads[t]) - 1}
+		// A fenced edge to the next (same-thread) event inserts the fence
+		// now, between the two.
+		if isFenced(cycle[i].Kind) && !cycle[i].external() {
+			threads[t] = append(threads[t], litmus.F(cycle[i].Fence))
+		}
+	}
+	for i, e := range cycle {
+		if dt, ok := e.depType(); ok {
+			from, to := pos[i], pos[(i+1)%n]
+			opts = append(opts, litmus.WithDep(from[0], from[1], to[1], dt))
+		}
+	}
+
+	t := litmus.New(name, threads, opts...)
+
+	// Map cycle events to litmus event IDs.
+	ids := make([]int, n)
+	for i, p := range pos {
+		ids[i] = t.Thread(p[0])[p[1]]
+	}
+
+	// Execution: rf edges from Rfe; coherence per address follows the
+	// cycle's co/fr constraints.
+	x := &exec.Execution{Test: t, RF: make([]int, len(t.Events)), CO: make([][]int, t.NumAddrs())}
+	for i := range x.RF {
+		x.RF[i] = -1
+	}
+	type coPair struct{ before, after int }
+	var coPairs []coPair
+	for i, e := range cycle {
+		src, dst := ids[i], ids[(i+1)%n]
+		switch e.Kind {
+		case Rfe:
+			x.RF[dst] = src
+		case Coe:
+			coPairs = append(coPairs, coPair{src, dst})
+		case Fre:
+			// The read observes a value coherence-before dst: the initial
+			// value unless an rf edge targets it too (handled above, in
+			// which case that source must be co-before dst).
+		}
+	}
+	// Coherence: per address, order writes to satisfy coPairs and place
+	// rf sources of Fre reads before the fr target.
+	for _, e := range t.Events {
+		if e.Kind == litmus.KWrite {
+			x.CO[e.Addr] = append(x.CO[e.Addr], e.ID)
+		}
+	}
+	for i, e := range cycle {
+		if e.Kind != Fre {
+			continue
+		}
+		rd, wr := ids[i], ids[(i+1)%n]
+		if src := x.RF[rd]; src >= 0 {
+			coPairs = append(coPairs, coPair{src, wr})
+		}
+	}
+	for a := range x.CO {
+		if len(x.CO[a]) > 2 {
+			return nil, fmt.Errorf("diy: more than two writes to %s", litmus.AddrName(a))
+		}
+		if len(x.CO[a]) == 2 {
+			w1, w2 := x.CO[a][0], x.CO[a][1]
+			for _, p := range coPairs {
+				if p.before == w2 && p.after == w1 {
+					x.CO[a][0], x.CO[a][1] = w2, w1
+				}
+			}
+		}
+	}
+	// Verify all co constraints hold (conflicting constraints reject the
+	// cycle).
+	coIndex := func(w int) int {
+		for i, id := range x.CO[t.Events[w].Addr] {
+			if id == w {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, p := range coPairs {
+		if t.Events[p.before].Addr != t.Events[p.after].Addr ||
+			coIndex(p.before) >= coIndex(p.after) {
+			return nil, fmt.Errorf("diy: unsatisfiable coherence constraints")
+		}
+	}
+	return x, nil
+}
+
+func isFenced(k EdgeKind) bool {
+	switch k {
+	case FencedWW, FencedWR, FencedRW, FencedRR:
+		return true
+	}
+	return false
+}
+
+// Generate enumerates all cycles of the given lengths over the alphabet and
+// realizes them, returning the witnesses of the well-formed ones. This is
+// the diy-style baseline generation the paper's §2.1 describes: the edge
+// alphabet plays the role of diy's relaxation lists.
+func Generate(alphabet []Edge, minLen, maxLen int) []*exec.Execution {
+	var out []*exec.Execution
+	cycle := make([]Edge, 0, maxLen)
+	var rec func()
+	rec = func() {
+		if len(cycle) >= minLen {
+			name := ""
+			for i, e := range cycle {
+				if i > 0 {
+					name += "+"
+				}
+				name += e.String()
+			}
+			if x, err := Realize(name, append([]Edge(nil), cycle...)); err == nil {
+				out = append(out, x)
+			}
+		}
+		if len(cycle) == maxLen {
+			return
+		}
+		for _, e := range alphabet {
+			cycle = append(cycle, e)
+			rec()
+			cycle = cycle[:len(cycle)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// TSOAlphabet returns a diy edge alphabet suitable for exploring TSO:
+// communication edges plus program-order and mfence-fenced edges.
+func TSOAlphabet() []Edge {
+	return []Edge{
+		{Kind: Rfe}, {Kind: Fre}, {Kind: Coe},
+		{Kind: PodWW}, {Kind: PodWR}, {Kind: PodRW}, {Kind: PodRR},
+		{Kind: FencedWR, Fence: litmus.FMFence},
+	}
+}
+
+// PowerAlphabet returns a diy edge alphabet for Power: communication,
+// program order, dependencies, and both fences.
+func PowerAlphabet() []Edge {
+	return []Edge{
+		{Kind: Rfe}, {Kind: Fre}, {Kind: Coe},
+		{Kind: PodWW}, {Kind: PodWR}, {Kind: PodRW}, {Kind: PodRR},
+		{Kind: DpAddrdR}, {Kind: DpAddrdW}, {Kind: DpDatadW}, {Kind: DpCtrldW},
+		{Kind: FencedWW, Fence: litmus.FLwSync}, {Kind: FencedRW, Fence: litmus.FLwSync},
+		{Kind: FencedRR, Fence: litmus.FLwSync},
+		{Kind: FencedWR, Fence: litmus.FSync},
+	}
+}

@@ -1,0 +1,158 @@
+package diy
+
+import (
+	"testing"
+
+	"memsynth/internal/canon"
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+)
+
+func TestRealizeMP(t *testing.T) {
+	// MP as a critical cycle: PodWW; Rfe; PodRR; Fre.
+	x, err := Realize("MP", []Edge{
+		{Kind: PodWW}, {Kind: Rfe}, {Kind: PodRR}, {Kind: Fre},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := x.Test
+	if lt.NumThreads() != 2 || lt.NumEvents() != 4 || lt.NumAddrs() != 2 {
+		t.Fatalf("MP shape wrong: %v", lt)
+	}
+	// The witness must be forbidden under TSO (the critical cycle is the
+	// violation).
+	if memmodel.Valid(memmodel.TSO(), exec.NewView(x, exec.NoPerturb)) {
+		t.Errorf("MP witness valid under TSO: %v / %s", lt, x.OutcomeString())
+	}
+	// And match the canonical MP.
+	want := litmus.New("MP", [][]litmus.Op{
+		{litmus.W(0), litmus.W(1)},
+		{litmus.R(1), litmus.R(0)},
+	})
+	if canon.ProgramKey(lt) != canon.ProgramKey(want) {
+		t.Errorf("realized MP not canonical MP:\n%v\n%v", lt, want)
+	}
+}
+
+func TestRealizeIRIW(t *testing.T) {
+	x, err := Realize("IRIW", []Edge{
+		{Kind: Rfe}, {Kind: PodRR}, {Kind: Fre},
+		{Kind: Rfe}, {Kind: PodRR}, {Kind: Fre},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := x.Test
+	if lt.NumThreads() != 4 || lt.NumEvents() != 6 || lt.NumAddrs() != 2 {
+		t.Fatalf("IRIW shape wrong: %v", lt)
+	}
+	if memmodel.Valid(memmodel.TSO(), exec.NewView(x, exec.NoPerturb)) {
+		t.Error("IRIW witness valid under TSO")
+	}
+}
+
+func TestRealizeSBWithFences(t *testing.T) {
+	x, err := Realize("SB+mfences", []Edge{
+		{Kind: FencedWR, Fence: litmus.FMFence}, {Kind: Fre},
+		{Kind: FencedWR, Fence: litmus.FMFence}, {Kind: Fre},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := x.Test
+	if lt.NumEvents() != 6 {
+		t.Fatalf("SB+mfences has %d events: %v", lt.NumEvents(), lt)
+	}
+	if memmodel.Valid(memmodel.TSO(), exec.NewView(x, exec.NoPerturb)) {
+		t.Error("SB+mfences witness valid under TSO")
+	}
+}
+
+func TestRealizeDeps(t *testing.T) {
+	// LB+datas: DpDatadW; Rfe; DpDatadW; Rfe.
+	x, err := Realize("LB+datas", []Edge{
+		{Kind: DpDatadW}, {Kind: Rfe}, {Kind: DpDatadW}, {Kind: Rfe},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x.Test.Deps) != 2 {
+		t.Fatalf("deps = %v", x.Test.Deps)
+	}
+	if memmodel.Valid(memmodel.Power(), exec.NewView(x, exec.NoPerturb)) {
+		t.Error("LB+datas witness valid under Power")
+	}
+}
+
+func TestRealizeCoherence(t *testing.T) {
+	// CoRR-like: Rfe; PosRR; Fre — wait, 2 reads of one write.
+	x, err := Realize("CoRR", []Edge{
+		{Kind: Rfe}, {Kind: PosRR}, {Kind: Fre},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Test.NumAddrs() != 1 {
+		t.Fatalf("CoRR addrs = %d", x.Test.NumAddrs())
+	}
+	if memmodel.Valid(memmodel.SC(), exec.NewView(x, exec.NoPerturb)) {
+		t.Error("CoRR witness valid under SC")
+	}
+}
+
+func TestRealizeRejects(t *testing.T) {
+	cases := [][]Edge{
+		{{Kind: PodWW}, {Kind: PodRR}}, // no external edge
+		{{Kind: Rfe}},                  // too short
+		{{Kind: Rfe}, {Kind: Rfe}},     // kind conflict (R cannot source Rfe)
+		{{Kind: PodWW}, {Kind: Fre}},   // kind conflict at joint
+	}
+	for i, c := range cases {
+		if _, err := Realize("bad", c); err == nil {
+			t.Errorf("case %d: cycle %v accepted", i, c)
+		}
+	}
+}
+
+func TestGenerateTSO(t *testing.T) {
+	witnesses := Generate(TSOAlphabet(), 3, 4)
+	if len(witnesses) == 0 {
+		t.Fatal("no cycles realized")
+	}
+	// Every witness is well-formed; many but not all are forbidden under
+	// TSO (diy explores candidate relaxations; some cycles are
+	// observable, which is exactly the redundancy the paper's synthesis
+	// avoids).
+	tso := memmodel.TSO()
+	forbidden := 0
+	keys := map[string]bool{}
+	for _, x := range witnesses {
+		if err := x.Test.Validate(); err != nil {
+			t.Fatalf("invalid test %v: %v", x.Test, err)
+		}
+		if !memmodel.Valid(tso, exec.NewView(x, exec.NoPerturb)) {
+			forbidden++
+		}
+		keys[canon.Key(x)] = true
+	}
+	if forbidden == 0 {
+		t.Error("no forbidden witnesses among diy cycles")
+	}
+	if len(keys) >= len(witnesses) {
+		t.Error("expected symmetric duplicates among raw diy cycles")
+	}
+	t.Logf("diy TSO cycles: %d realized, %d distinct, %d forbidden",
+		len(witnesses), len(keys), forbidden)
+}
+
+func TestEdgeStrings(t *testing.T) {
+	if (Edge{Kind: Rfe}).String() != "Rfe" {
+		t.Error("Rfe string")
+	}
+	e := Edge{Kind: FencedWR, Fence: litmus.FMFence}
+	if e.String() != "FencedWR[mfence]" {
+		t.Errorf("fenced string = %q", e.String())
+	}
+}

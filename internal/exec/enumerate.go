@@ -1,0 +1,175 @@
+package exec
+
+import "memsynth/internal/litmus"
+
+// EnumerateOptions controls execution enumeration.
+type EnumerateOptions struct {
+	// UseSC enumerates all total orders over FSC fences (needed by models,
+	// such as SCC, whose axioms consult an sc order). When false, SC is
+	// left nil.
+	UseSC bool
+}
+
+// Enumerate visits every well-formed candidate execution of t: every
+// assignment of reads to same-address writes or the initial value, every
+// per-address total coherence order, and (optionally) every total order of
+// SC fences. The *Execution passed to visit is reused between calls; clone
+// it to retain it. Enumeration stops early when visit returns false.
+// Enumerate returns the number of executions visited.
+func Enumerate(t *litmus.Test, opts EnumerateOptions, visit func(*Execution) bool) int {
+	numAddrs := t.NumAddrs()
+	x := &Execution{
+		Test: t,
+		RF:   make([]int, len(t.Events)),
+		CO:   make([][]int, numAddrs),
+	}
+	for i := range x.RF {
+		x.RF[i] = -1
+	}
+
+	var reads []int
+	writesByAddr := make([][]int, numAddrs)
+	var scFences []int
+	for _, e := range t.Events {
+		switch {
+		case e.Kind == litmus.KRead:
+			reads = append(reads, e.ID)
+		case e.Kind == litmus.KWrite:
+			writesByAddr[e.Addr] = append(writesByAddr[e.Addr], e.ID)
+		case e.Kind == litmus.KFence && e.Fence == litmus.FSC:
+			scFences = append(scFences, e.ID)
+		}
+	}
+
+	count := 0
+	stopped := false
+
+	var enumSC func() bool
+	if opts.UseSC && len(scFences) > 0 {
+		enumSC = func() bool {
+			ok := true
+			forEachPermutation(scFences, func(perm []int) bool {
+				x.SC = perm
+				count++
+				if !visit(x) {
+					ok = false
+				}
+				return ok
+			})
+			return ok
+		}
+	} else {
+		enumSC = func() bool {
+			x.SC = nil
+			count++
+			return visit(x)
+		}
+	}
+
+	// Enumerate coherence orders address by address, innermost the sc
+	// orders.
+	var enumCO func(addr int) bool
+	enumCO = func(addr int) bool {
+		if addr == numAddrs {
+			return enumSC()
+		}
+		if len(writesByAddr[addr]) == 0 {
+			x.CO[addr] = nil
+			return enumCO(addr + 1)
+		}
+		ok := true
+		forEachPermutation(writesByAddr[addr], func(perm []int) bool {
+			x.CO[addr] = perm
+			if !enumCO(addr + 1) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+
+	// Outermost: rf choices per read.
+	var enumRF func(i int) bool
+	enumRF = func(i int) bool {
+		if i == len(reads) {
+			return enumCO(0)
+		}
+		r := reads[i]
+		addr := t.Events[r].Addr
+		x.RF[r] = -1
+		if !enumRF(i + 1) {
+			return false
+		}
+		for _, w := range writesByAddr[addr] {
+			x.RF[r] = w
+			if !enumRF(i + 1) {
+				return false
+			}
+		}
+		x.RF[r] = -1
+		return true
+	}
+
+	if !enumRF(0) {
+		stopped = true
+	}
+	_ = stopped
+	return count
+}
+
+// forEachPermutation visits every permutation of items. The slice passed to
+// visit is reused; visiting stops when visit returns false.
+func forEachPermutation(items []int, visit func([]int) bool) {
+	perm := append([]int(nil), items...)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(perm) {
+			return visit(perm)
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if !rec(k + 1) {
+				return false
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CountExecutions returns the number of well-formed candidate executions of
+// t without visiting them.
+func CountExecutions(t *litmus.Test, opts EnumerateOptions) int {
+	total := 1
+	writesPerAddr := make([]int, t.NumAddrs())
+	scFences := 0
+	for _, e := range t.Events {
+		switch {
+		case e.Kind == litmus.KWrite:
+			writesPerAddr[e.Addr]++
+		case e.Kind == litmus.KFence && e.Fence == litmus.FSC:
+			scFences++
+		}
+	}
+	for _, e := range t.Events {
+		if e.Kind == litmus.KRead {
+			total *= writesPerAddr[e.Addr] + 1
+		}
+	}
+	for _, w := range writesPerAddr {
+		total *= factorial(w)
+	}
+	if opts.UseSC && scFences > 0 {
+		total *= factorial(scFences)
+	}
+	return total
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}

@@ -1,0 +1,496 @@
+package exec
+
+import (
+	"fmt"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/relation"
+)
+
+// PerturbKind identifies one of the paper's instruction relaxations (§3.2).
+type PerturbKind uint8
+
+const (
+	// PNone applies no relaxation.
+	PNone PerturbKind = iota
+	// PRI removes the instruction entirely (Remove Instruction).
+	PRI
+	// PDMO demotes the memory-ordering annotation of a read or write
+	// (Demote Memory Order).
+	PDMO
+	// PDF demotes a fence to a weaker fence kind (Demote Fence).
+	PDF
+	// PDRMW decomposes an atomic read-modify-write pair into a plain
+	// read/write pair, keeping po_loc and the data dependency
+	// (Decompose RMW).
+	PDRMW
+	// PRD discards all dependencies originating at the instruction
+	// (Remove Dependency).
+	PRD
+	// PDS demotes the synchronization scope of the instruction
+	// (Demote Scope).
+	PDS
+)
+
+func (k PerturbKind) String() string {
+	switch k {
+	case PNone:
+		return "none"
+	case PRI:
+		return "RI"
+	case PDMO:
+		return "DMO"
+	case PDF:
+		return "DF"
+	case PDRMW:
+		return "DRMW"
+	case PRD:
+		return "RD"
+	case PDS:
+		return "DS"
+	}
+	return fmt.Sprintf("PerturbKind(%d)", uint8(k))
+}
+
+// Perturb is the application of one instruction relaxation to one event.
+type Perturb struct {
+	// Kind selects the relaxation; PNone means no relaxation (Event is
+	// ignored).
+	Kind PerturbKind
+	// Event is the targeted event ID. For PDRMW it is the read of the
+	// pair.
+	Event int
+	// NewOrder is the demoted memory order (PDMO).
+	NewOrder litmus.Order
+	// NewFence is the demoted fence kind (PDF).
+	NewFence litmus.FenceKind
+	// NewScope is the demoted scope (PDS).
+	NewScope litmus.Scope
+}
+
+// NoPerturb is the identity perturbation.
+var NoPerturb = Perturb{Kind: PNone}
+
+func (p Perturb) String() string {
+	switch p.Kind {
+	case PNone:
+		return "none"
+	case PDMO:
+		return fmt.Sprintf("DMO(e%d→%v)", p.Event, p.NewOrder)
+	case PDF:
+		return fmt.Sprintf("DF(e%d→%v)", p.Event, p.NewFence)
+	case PDS:
+		return fmt.Sprintf("DS(e%d→%v)", p.Event, p.NewScope)
+	default:
+		return fmt.Sprintf("%v(e%d)", p.Kind, p.Event)
+	}
+}
+
+// View presents the (possibly perturbed) relations of one execution to
+// memory-model axioms. All relations are restricted to live events; derived
+// relations are recomputed from the perturbed base relations, implementing
+// the paper's _p relations (Fig. 6).
+type View struct {
+	test    *litmus.Test
+	x       *Execution
+	perturb Perturb
+
+	n    int
+	live relation.Set
+
+	po, poLoc relation.Rel
+	sameAddr  relation.Rel
+	ext       relation.Rel // pairs on different threads
+	rf        relation.Rel
+	co        relation.Rel // transitive strict order per address
+	fr        relation.Rel
+	rmw       relation.Rel
+	dep       [3]relation.Rel // indexed by litmus.DepType
+	depAll    relation.Rel
+
+	reads, writes, fences relation.Set
+	orphans               relation.Set // reads whose rf source was RI'd
+
+	memo map[string]any
+}
+
+// Memo returns the value cached under key, computing and caching it with
+// build on first use. Memory models use it to share expensive derived
+// relations (e.g. Power's preserved-program-order fixpoint) across the
+// axioms evaluated against one view.
+func (v *View) Memo(key string, build func() any) any {
+	if v.memo == nil {
+		v.memo = make(map[string]any)
+	}
+	if val, ok := v.memo[key]; ok {
+		return val
+	}
+	val := build()
+	v.memo[key] = val
+	return val
+}
+
+// NewView builds the relational view of execution x under perturbation p.
+func NewView(x *Execution, p Perturb) *View {
+	t := x.Test
+	v := &View{test: t, x: x, perturb: p, n: len(t.Events)}
+	v.live = relation.UniverseSet(v.n)
+	if p.Kind == PRI {
+		v.live = v.live.Remove(p.Event)
+	}
+
+	// Event classes (live only).
+	for _, e := range t.Events {
+		if !v.live.Has(e.ID) {
+			continue
+		}
+		switch e.Kind {
+		case litmus.KRead:
+			v.reads = v.reads.Add(e.ID)
+		case litmus.KWrite:
+			v.writes = v.writes.Add(e.ID)
+		case litmus.KFence:
+			v.fences = v.fences.Add(e.ID)
+		}
+	}
+
+	// Program order (transitive) and same-address, restricted to live.
+	v.po = relation.New(v.n)
+	v.sameAddr = relation.New(v.n)
+	v.ext = relation.New(v.n)
+	for _, a := range t.Events {
+		if !v.live.Has(a.ID) {
+			continue
+		}
+		for _, b := range t.Events {
+			if a.ID == b.ID || !v.live.Has(b.ID) {
+				continue
+			}
+			if a.Thread == b.Thread && a.Index < b.Index {
+				v.po.Add(a.ID, b.ID)
+			}
+			if a.Thread != b.Thread {
+				v.ext.Add(a.ID, b.ID)
+			}
+			if a.Addr >= 0 && a.Addr == b.Addr {
+				v.sameAddr.Add(a.ID, b.ID)
+			}
+		}
+	}
+	v.poLoc = v.po.Intersect(v.sameAddr)
+
+	// rf, recording orphaned reads (source removed by RI): such reads are
+	// left unconstrained — they contribute neither rf nor fr edges
+	// (paper §4.3).
+	v.rf = relation.New(v.n)
+	for _, e := range t.Events {
+		if e.Kind != litmus.KRead || !v.live.Has(e.ID) {
+			continue
+		}
+		src := x.RF[e.ID]
+		if src < 0 {
+			continue // initial read
+		}
+		if !v.live.Has(src) {
+			v.orphans = v.orphans.Add(e.ID)
+			continue
+		}
+		v.rf.Add(src, e.ID)
+	}
+
+	// co: transitive closure of each address order, then restricted to
+	// live writes (the repair of Fig. 8 — restriction of the closure
+	// preserves order across a removed middle write).
+	v.co = relation.New(v.n)
+	for _, ws := range x.CO {
+		for i := 0; i < len(ws); i++ {
+			if !v.live.Has(ws[i]) {
+				continue
+			}
+			for j := i + 1; j < len(ws); j++ {
+				if v.live.Has(ws[j]) {
+					v.co.Add(ws[i], ws[j])
+				}
+			}
+		}
+	}
+
+	// fr: reads-before. A read from write w is fr-before every live write
+	// co-after w; an initial read is fr-before every live same-address
+	// write. Orphaned reads contribute nothing.
+	v.fr = relation.New(v.n)
+	for _, e := range t.Events {
+		if e.Kind != litmus.KRead || !v.live.Has(e.ID) || v.orphans.Has(e.ID) {
+			continue
+		}
+		src := x.RF[e.ID]
+		if src < 0 {
+			for _, w := range writesTo(t, e.Addr) {
+				if v.live.Has(w) {
+					v.fr.Add(e.ID, w)
+				}
+			}
+		} else {
+			for _, w := range v.co.Successors(src).Members() {
+				v.fr.Add(e.ID, w)
+			}
+		}
+	}
+
+	// rmw: pairs with both endpoints live; a pair is dissolved by PDRMW on
+	// its read and by PRD on its read (removing the data dependency that
+	// links the pair — paper Fig. 6 rmw_p).
+	v.rmw = relation.New(v.n)
+	for _, pair := range t.RMW {
+		r, w := pair[0], pair[1]
+		if !v.live.Has(r) || !v.live.Has(w) {
+			continue
+		}
+		if (p.Kind == PDRMW || p.Kind == PRD) && p.Event == r {
+			continue
+		}
+		v.rmw.Add(r, w)
+	}
+
+	// Dependencies: explicit deps plus the implicit data dependency of
+	// each RMW pair. PRD removes all deps originating at the event. PDRMW
+	// keeps the pair's data dependency (paper §3.2: "The po_loc and data
+	// dependencies between the load and the store remain in effect").
+	for i := range v.dep {
+		v.dep[i] = relation.New(v.n)
+	}
+	addDep := func(d litmus.Dep) {
+		if !v.live.Has(d.From) || !v.live.Has(d.To) {
+			return
+		}
+		if p.Kind == PRD && p.Event == d.From {
+			return
+		}
+		v.dep[d.Type].Add(d.From, d.To)
+	}
+	for _, d := range t.Deps {
+		addDep(d)
+	}
+	for _, pair := range t.RMW {
+		addDep(litmus.Dep{From: pair[0], To: pair[1], Type: litmus.DepData})
+	}
+	v.depAll = v.dep[litmus.DepAddr].Union(v.dep[litmus.DepData]).Union(v.dep[litmus.DepCtrl])
+
+	return v
+}
+
+func writesTo(t *litmus.Test, addr int) []int {
+	var out []int
+	for _, e := range t.Events {
+		if e.Kind == litmus.KWrite && e.Addr == addr {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Test returns the underlying litmus test.
+func (v *View) Test() *litmus.Test { return v.test }
+
+// Execution returns the underlying execution.
+func (v *View) Execution() *Execution { return v.x }
+
+// Perturbation returns the applied perturbation.
+func (v *View) Perturbation() Perturb { return v.perturb }
+
+// N returns the universe size (all events, live or not).
+func (v *View) N() int { return v.n }
+
+// Live returns the set of live (non-removed) events.
+func (v *View) Live() relation.Set { return v.live }
+
+// Reads returns the live read events.
+func (v *View) Reads() relation.Set { return v.reads }
+
+// Writes returns the live write events.
+func (v *View) Writes() relation.Set { return v.writes }
+
+// Fences returns the live fence events.
+func (v *View) Fences() relation.Set { return v.fences }
+
+// Orphans returns the live reads whose rf source was removed; their return
+// value is unconstrained.
+func (v *View) Orphans() relation.Set { return v.orphans }
+
+// PO returns (perturbed) program order, transitive.
+func (v *View) PO() relation.Rel { return v.po }
+
+// POLoc returns program order restricted to same-address pairs.
+func (v *View) POLoc() relation.Rel { return v.poLoc }
+
+// SameAddr returns the symmetric same-address relation over memory events.
+func (v *View) SameAddr() relation.Rel { return v.sameAddr }
+
+// Ext returns the cross-thread (external) pair relation.
+func (v *View) Ext() relation.Rel { return v.ext }
+
+// RF returns the (perturbed) reads-from relation.
+func (v *View) RF() relation.Rel { return v.rf }
+
+// CO returns the (perturbed) coherence order, transitive.
+func (v *View) CO() relation.Rel { return v.co }
+
+// FR returns the (perturbed) from-reads relation.
+func (v *View) FR() relation.Rel { return v.fr }
+
+// RMW returns the (perturbed) read-modify-write pairing.
+func (v *View) RMW() relation.Rel { return v.rmw }
+
+// Dep returns the (perturbed) dependency relation of one flavor.
+func (v *View) Dep(t litmus.DepType) relation.Rel { return v.dep[t] }
+
+// DepAll returns the union of all dependency flavors.
+func (v *View) DepAll() relation.Rel { return v.depAll }
+
+// RFE returns external reads-from (across threads).
+func (v *View) RFE() relation.Rel { return v.rf.Intersect(v.ext) }
+
+// RFI returns internal reads-from (same thread).
+func (v *View) RFI() relation.Rel { return v.rf.Minus(v.ext) }
+
+// COE returns external coherence edges.
+func (v *View) COE() relation.Rel { return v.co.Intersect(v.ext) }
+
+// COI returns internal coherence edges.
+func (v *View) COI() relation.Rel { return v.co.Minus(v.ext) }
+
+// FRE returns external from-reads edges.
+func (v *View) FRE() relation.Rel { return v.fr.Intersect(v.ext) }
+
+// FRI returns internal from-reads edges.
+func (v *View) FRI() relation.Rel { return v.fr.Minus(v.ext) }
+
+// Com returns the communication relation rf ∪ co ∪ fr.
+func (v *View) Com() relation.Rel { return v.rf.Union(v.co).Union(v.fr) }
+
+// OrderOf returns the effective memory order of event id, honoring a PDMO
+// perturbation.
+func (v *View) OrderOf(id int) litmus.Order {
+	if v.perturb.Kind == PDMO && v.perturb.Event == id {
+		return v.perturb.NewOrder
+	}
+	return v.test.Events[id].Order
+}
+
+// FenceOf returns the effective fence kind of event id, honoring a PDF
+// perturbation. Non-fence events return FNone.
+func (v *View) FenceOf(id int) litmus.FenceKind {
+	if v.test.Events[id].Kind != litmus.KFence {
+		return litmus.FNone
+	}
+	if v.perturb.Kind == PDF && v.perturb.Event == id {
+		return v.perturb.NewFence
+	}
+	return v.test.Events[id].Fence
+}
+
+// ScopeOf returns the effective scope of event id, honoring a PDS
+// perturbation.
+func (v *View) ScopeOf(id int) litmus.Scope {
+	if v.perturb.Kind == PDS && v.perturb.Event == id {
+		return v.perturb.NewScope
+	}
+	return v.test.Events[id].Scope
+}
+
+// Where returns the set of live events satisfying pred.
+func (v *View) Where(pred func(id int) bool) relation.Set {
+	var s relation.Set
+	for _, m := range v.live.Members() {
+		if pred(m) {
+			s = s.Add(m)
+		}
+	}
+	return s
+}
+
+// FencesOfKind returns the live fences whose effective kind is one of ks.
+func (v *View) FencesOfKind(ks ...litmus.FenceKind) relation.Set {
+	return v.Where(func(id int) bool {
+		fk := v.FenceOf(id)
+		if fk == litmus.FNone {
+			return false
+		}
+		for _, k := range ks {
+			if fk == k {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// FenceRel returns the ordering induced by fences of the given kinds:
+// (po :> F) ; po — every pair of events separated by such a fence in
+// program order (paper Fig. 4's fence function).
+func (v *View) FenceRel(ks ...litmus.FenceKind) relation.Rel {
+	f := v.FencesOfKind(ks...)
+	return v.po.RestrictRange(f).Join(v.po)
+}
+
+// SCRel returns the strict total order over live FSC fences induced by the
+// execution's SC permutation, honoring DF demotions (a demoted fence leaves
+// the order). If reversed is set, the order is reversed — used by the SCC
+// workaround of paper Fig. 19.
+func (v *View) SCRel(reversed bool) relation.Rel {
+	r := relation.New(v.n)
+	if v.x.SC == nil {
+		return r
+	}
+	inOrder := func(id int) bool {
+		return v.live.Has(id) && v.FenceOf(id) == litmus.FSC
+	}
+	for i := 0; i < len(v.x.SC); i++ {
+		if !inOrder(v.x.SC[i]) {
+			continue
+		}
+		for j := i + 1; j < len(v.x.SC); j++ {
+			if !inOrder(v.x.SC[j]) {
+				continue
+			}
+			if reversed {
+				r.Add(v.x.SC[j], v.x.SC[i])
+			} else {
+				r.Add(v.x.SC[i], v.x.SC[j])
+			}
+		}
+	}
+	return r
+}
+
+// SCEdgeCount returns the number of edges in the (unperturbed) sc order —
+// used to decide whether the Fig. 19 workaround (which requires at most one
+// sc edge) applies.
+func (v *View) SCEdgeCount() int {
+	return v.SCRel(false).Size()
+}
+
+// ScopeCompatible returns the relation containing pairs (a, b) whose scopes
+// mutually cover each other's thread: a's effective scope includes b's
+// thread and vice versa. Events with ScopeNone cover all threads (non-scoped
+// models are unaffected).
+func (v *View) ScopeCompatible() relation.Rel {
+	r := relation.New(v.n)
+	covers := func(a, b int) bool {
+		switch v.ScopeOf(a) {
+		case litmus.ScopeNone, litmus.ScopeSys:
+			return true
+		case litmus.ScopeWG:
+			return v.test.GroupOf(v.test.Events[a].Thread) == v.test.GroupOf(v.test.Events[b].Thread)
+		}
+		return false
+	}
+	for _, a := range v.live.Members() {
+		for _, b := range v.live.Members() {
+			if covers(a, b) && covers(b, a) {
+				r.Add(a, b)
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/relation"
+)
+
+// randomTestExec draws a random small test and one of its executions.
+func randomTestExec(rng *rand.Rand) (*litmus.Test, *Execution) {
+	numThreads := 1 + rng.Intn(3)
+	var threads [][]litmus.Op
+	remap := map[int]int{}
+	addrOf := func(a int) int {
+		if v, ok := remap[a]; ok {
+			return v
+		}
+		v := len(remap)
+		remap[a] = v
+		return v
+	}
+	var opts []litmus.Option
+	for th := 0; th < numThreads; th++ {
+		size := 1 + rng.Intn(3)
+		var ops []litmus.Op
+		for i := 0; i < size; i++ {
+			switch rng.Intn(7) {
+			case 0, 1:
+				ops = append(ops, litmus.R(addrOf(rng.Intn(2))))
+			case 2, 3:
+				ops = append(ops, litmus.W(addrOf(rng.Intn(2))))
+			case 4:
+				ops = append(ops, litmus.Racq(addrOf(rng.Intn(2))))
+			case 5:
+				if i > 0 && i < size-1 {
+					ops = append(ops, litmus.F(litmus.FSC))
+				} else {
+					ops = append(ops, litmus.Wrel(addrOf(rng.Intn(2))))
+				}
+			case 6:
+				ops = append(ops, litmus.W(addrOf(rng.Intn(2))))
+			}
+		}
+		threads = append(threads, ops)
+	}
+	t := litmus.New("rnd", threads, opts...)
+	// Add a dependency when possible.
+	for th := 0; th < t.NumThreads() && rng.Intn(2) == 0; th++ {
+		ids := t.Thread(th)
+		for i, id := range ids {
+			if t.Events[id].Kind != litmus.KRead {
+				continue
+			}
+			for j := i + 1; j < len(ids); j++ {
+				if t.Events[ids[j]].Kind == litmus.KWrite {
+					t = rebuildWithDep(t, th, i, j)
+					th = t.NumThreads()
+					break
+				}
+			}
+			break
+		}
+	}
+
+	var chosen *Execution
+	pick := rng.Intn(6)
+	i := 0
+	Enumerate(t, EnumerateOptions{}, func(x *Execution) bool {
+		chosen = x.Clone()
+		i++
+		return i <= pick
+	})
+	return t, chosen
+}
+
+func rebuildWithDep(t *litmus.Test, th, from, to int) *litmus.Test {
+	threads := make([][]litmus.Op, t.NumThreads())
+	for i := 0; i < t.NumThreads(); i++ {
+		for _, id := range t.Thread(i) {
+			e := t.Events[id]
+			var op litmus.Op
+			switch e.Kind {
+			case litmus.KRead:
+				op = litmus.R(e.Addr).WithOrder(e.Order)
+			case litmus.KWrite:
+				op = litmus.W(e.Addr).WithOrder(e.Order)
+			case litmus.KFence:
+				op = litmus.F(e.Fence)
+			}
+			threads[i] = append(threads[i], op)
+		}
+	}
+	return litmus.New(t.Name, threads, litmus.WithDep(th, from, to, litmus.DepData))
+}
+
+// randomPerturb draws a random perturbation applicable to the test.
+func randomPerturb(rng *rand.Rand, t *litmus.Test) Perturb {
+	e := rng.Intn(len(t.Events))
+	switch rng.Intn(4) {
+	case 0:
+		return Perturb{Kind: PRI, Event: e}
+	case 1:
+		return Perturb{Kind: PDMO, Event: e, NewOrder: litmus.OPlain}
+	case 2:
+		return Perturb{Kind: PRD, Event: e}
+	default:
+		return Perturb{Kind: PDF, Event: e, NewFence: litmus.FAcqRel}
+	}
+}
+
+// TestQuickPerturbedRelationsShrink: perturbation only removes edges from
+// the base relations (with co read through its closure) — relaxations
+// weaken, never strengthen.
+func TestQuickPerturbedRelationsShrink(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt, x := randomTestExec(rng)
+		if x == nil {
+			return true
+		}
+		base := NewView(x, NoPerturb)
+		p := randomPerturb(rng, lt)
+		pv := NewView(x, p)
+		return pv.PO().SubsetOf(base.PO()) &&
+			pv.RF().SubsetOf(base.RF()) &&
+			pv.CO().SubsetOf(base.CO()) &&
+			pv.RMW().SubsetOf(base.RMW()) &&
+			pv.DepAll().SubsetOf(base.DepAll()) &&
+			pv.POLoc().SubsetOf(base.POLoc())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRIRemovesAllEdges: after RI, no relation touches the removed
+// event.
+func TestQuickRIRemovesAllEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt, x := randomTestExec(rng)
+		if x == nil {
+			return true
+		}
+		ev := rng.Intn(len(lt.Events))
+		pv := NewView(x, Perturb{Kind: PRI, Event: ev})
+		if pv.Live().Has(ev) {
+			return false
+		}
+		for _, r := range []relation.Rel{
+			pv.PO(), pv.POLoc(), pv.RF(), pv.CO(), pv.FR(),
+			pv.RMW(), pv.DepAll(), pv.SameAddr(), pv.Ext(),
+		} {
+			if !r.Successors(ev).IsEmpty() {
+				return false
+			}
+			if !r.Transpose().Successors(ev).IsEmpty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickViewStructuralInvariants: fr targets are same-address writes,
+// rf sources are writes and targets reads, po is transitive and acyclic,
+// co is a strict order.
+func TestQuickViewStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt, x := randomTestExec(rng)
+		if x == nil {
+			return true
+		}
+		var v *View
+		if rng.Intn(2) == 0 {
+			v = NewView(x, NoPerturb)
+		} else {
+			v = NewView(x, randomPerturb(rng, lt))
+		}
+		if !v.PO().Transitive() || !v.PO().Acyclic() {
+			return false
+		}
+		if !v.CO().Transitive() || !v.CO().Acyclic() {
+			return false
+		}
+		for _, p := range v.RF().Pairs() {
+			if !v.Writes().Has(p[0]) || !v.Reads().Has(p[1]) || !v.SameAddr().Has(p[0], p[1]) {
+				return false
+			}
+		}
+		for _, p := range v.FR().Pairs() {
+			if !v.Reads().Has(p[0]) || !v.Writes().Has(p[1]) || !v.SameAddr().Has(p[0], p[1]) {
+				return false
+			}
+		}
+		// A read never fr-precedes its own rf source.
+		for _, p := range v.RF().Pairs() {
+			if v.FR().Has(p[1], p[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrphansOnlyUnderRI: orphaned reads appear only when the rf
+// source was removed, and orphans have no fr edges.
+func TestQuickOrphansOnlyUnderRI(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt, x := randomTestExec(rng)
+		if x == nil {
+			return true
+		}
+		p := randomPerturb(rng, lt)
+		pv := NewView(x, p)
+		if p.Kind != PRI && !pv.Orphans().IsEmpty() {
+			return false
+		}
+		for _, o := range pv.Orphans().Members() {
+			if x.RF[o] != p.Event {
+				return false
+			}
+			if !pv.FR().Successors(o).IsEmpty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewMemo(t *testing.T) {
+	lt := litmus.New("MP", [][]litmus.Op{
+		{litmus.W(0), litmus.W(1)},
+		{litmus.R(1), litmus.R(0)},
+	})
+	x := &Execution{Test: lt, RF: []int{-1, -1, 1, -1}, CO: [][]int{{0}, {1}}}
+	v := NewView(x, NoPerturb)
+	calls := 0
+	build := func() any { calls++; return 42 }
+	if got := v.Memo("k", build); got != 42 {
+		t.Fatalf("Memo = %v", got)
+	}
+	if got := v.Memo("k", build); got != 42 || calls != 1 {
+		t.Fatalf("Memo not cached: got=%v calls=%d", got, calls)
+	}
+	if got := v.Memo("k2", func() any { return "other" }); got != "other" {
+		t.Fatalf("Memo k2 = %v", got)
+	}
+}

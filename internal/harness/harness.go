@@ -1,0 +1,151 @@
+// Package harness runs litmus-test suites against an implementation under
+// test and reports violations — the downstream black-box testing workflow
+// the paper's synthesized suites feed into ("These tests can then be fed
+// into any existing testing infrastructure", §1).
+//
+// An implementation is anything that can execute a litmus test and report
+// the set of outcomes it exhibits (here: the operational machines of
+// package tsosim, including their fault-injected variants). A violation is
+// an outcome the axiomatic model forbids. The package tests demonstrate the
+// paper's core value proposition: the synthesized minimal suites detect
+// every seeded implementation bug, including bugs that hand-curated suites
+// can miss.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/tsosim"
+)
+
+// Machine executes a litmus test exhaustively and returns the outcomes it
+// can exhibit, keyed by tsosim.Outcome.Key.
+type Machine func(t *litmus.Test) (map[string]tsosim.Outcome, error)
+
+// Violation is one forbidden outcome an implementation exhibited.
+type Violation struct {
+	// Test is the litmus test that exposed the bug.
+	Test *litmus.Test
+	// Outcome is the forbidden outcome observed.
+	Outcome tsosim.Outcome
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%v exhibits forbidden outcome rf=%v final=%v",
+		v.Test, v.Outcome.ReadsFrom, v.Outcome.FinalWrite)
+}
+
+// allowedKeys projects the model-valid executions of t onto the machine
+// outcome space (reads-from per read, final write per address).
+func allowedKeys(m memmodel.Model, t *litmus.Test) map[string]bool {
+	allowed := make(map[string]bool)
+	exec.Enumerate(t, exec.EnumerateOptions{UseSC: m.Vocab().UsesSC}, func(x *exec.Execution) bool {
+		if !memmodel.Valid(m, exec.NewView(x, exec.NoPerturb)) {
+			return true
+		}
+		o := tsosim.Outcome{
+			ReadsFrom:  append([]int(nil), x.RF...),
+			FinalWrite: make([]int, t.NumAddrs()),
+		}
+		for a := 0; a < t.NumAddrs(); a++ {
+			o.FinalWrite[a] = -1
+			if a < len(x.CO) && len(x.CO[a]) > 0 {
+				o.FinalWrite[a] = x.CO[a][len(x.CO[a])-1]
+			}
+		}
+		allowed[o.Key()] = true
+		return true
+	})
+	return allowed
+}
+
+// Check runs one test on the machine and returns the violations (outcomes
+// the model forbids).
+func Check(m memmodel.Model, t *litmus.Test, run Machine) ([]Violation, error) {
+	observed, err := run(t)
+	if err != nil {
+		return nil, err
+	}
+	allowed := allowedKeys(m, t)
+	var out []Violation
+	var keys []string
+	for k := range observed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !allowed[k] {
+			out = append(out, Violation{Test: t, Outcome: observed[k]})
+		}
+	}
+	return out, nil
+}
+
+// SuiteReport summarizes a suite run against one machine.
+type SuiteReport struct {
+	// TestsRun counts the tests executed.
+	TestsRun int
+	// Violations lists every forbidden outcome observed, in suite order.
+	Violations []Violation
+	// DetectingTests counts the tests that exposed at least one
+	// violation.
+	DetectingTests int
+	// Skipped counts tests the machine could not execute (vocabulary
+	// mismatch).
+	Skipped int
+}
+
+// Detected reports whether any test exposed a violation.
+func (r SuiteReport) Detected() bool { return len(r.Violations) > 0 }
+
+// RunSuite checks every test of the suite against the machine. Tests the
+// machine cannot execute (unsupported vocabulary) are counted as skipped,
+// not errors, so suites for richer models can run on narrower machines.
+func RunSuite(m memmodel.Model, tests []*litmus.Test, run Machine) SuiteReport {
+	var report SuiteReport
+	for _, t := range tests {
+		violations, err := Check(m, t, run)
+		if err != nil {
+			report.Skipped++
+			continue
+		}
+		report.TestsRun++
+		if len(violations) > 0 {
+			report.DetectingTests++
+			report.Violations = append(report.Violations, violations...)
+		}
+	}
+	return report
+}
+
+// DetectionRow records which faults a suite detects.
+type DetectionRow struct {
+	Fault    tsosim.Fault
+	Detected bool
+	// FirstTest is the first test exposing the fault (nil if undetected).
+	FirstTest *litmus.Test
+}
+
+// DetectionMatrix runs the suite against every seeded fault of the x86-TSO
+// machine and reports which are caught. The correct machine (FaultNone)
+// must produce no violations; it is checked first and reported as a row
+// with Detected meaning "false positives seen".
+func DetectionMatrix(m memmodel.Model, tests []*litmus.Test) []DetectionRow {
+	rows := make([]DetectionRow, 0, 6)
+	for _, fault := range append([]tsosim.Fault{tsosim.FaultNone}, tsosim.AllFaults()...) {
+		machine := func(t *litmus.Test) (map[string]tsosim.Outcome, error) {
+			return tsosim.RunFaulty(t, fault)
+		}
+		report := RunSuite(m, tests, machine)
+		row := DetectionRow{Fault: fault, Detected: report.Detected()}
+		if len(report.Violations) > 0 {
+			row.FirstTest = report.Violations[0].Test
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

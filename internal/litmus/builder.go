@@ -1,0 +1,169 @@
+package litmus
+
+import "fmt"
+
+// Op is a single-instruction specification used to build tests. Construct
+// with the R, W, Fence helpers and the With* modifiers.
+type Op struct {
+	kind  Kind
+	order Order
+	fence FenceKind
+	scope Scope
+	addr  int
+}
+
+// R returns a plain load of address a.
+func R(a int) Op { return Op{kind: KRead, addr: a} }
+
+// W returns a plain store to address a.
+func W(a int) Op { return Op{kind: KWrite, addr: a} }
+
+// F returns a fence of kind k.
+func F(k FenceKind) Op { return Op{kind: KFence, fence: k, addr: -1} }
+
+// WithOrder returns o with the given memory-ordering annotation.
+func (o Op) WithOrder(ord Order) Op {
+	o.order = ord
+	return o
+}
+
+// WithScope returns o with the given synchronization scope.
+func (o Op) WithScope(s Scope) Op {
+	o.scope = s
+	return o
+}
+
+// WithAddr returns o with the given address. It has no effect on fences.
+func (o Op) WithAddr(a int) Op {
+	if o.kind != KFence {
+		o.addr = a
+	}
+	return o
+}
+
+// Kind returns the instruction class of the op.
+func (o Op) Kind() Kind { return o.kind }
+
+// Order returns the memory-ordering annotation of the op.
+func (o Op) Order() Order { return o.order }
+
+// FenceKind returns the fence kind of the op (FNone for non-fences).
+func (o Op) FenceKind() FenceKind { return o.fence }
+
+// Scope returns the synchronization scope of the op.
+func (o Op) Scope() Scope { return o.scope }
+
+// Addr returns the address of the op (-1 for fences).
+func (o Op) Addr() int { return o.addr }
+
+// IsFence reports whether the op is a fence.
+func (o Op) IsFence() bool { return o.kind == KFence }
+
+// Racq returns an acquire load of address a.
+func Racq(a int) Op { return R(a).WithOrder(OAcquire) }
+
+// Wrel returns a release store to address a.
+func Wrel(a int) Op { return W(a).WithOrder(ORelease) }
+
+// Rsc returns a sequentially consistent load of address a.
+func Rsc(a int) Op { return R(a).WithOrder(OSC) }
+
+// Wsc returns a sequentially consistent store to address a.
+func Wsc(a int) Op { return W(a).WithOrder(OSC) }
+
+// Option customizes a test built by New.
+type Option func(*builderState)
+
+type builderState struct {
+	deps   []coordDep
+	rmws   []coordRMW
+	groups []int
+}
+
+type coordDep struct {
+	thread, from, to int
+	typ              DepType
+}
+
+type coordRMW struct {
+	thread, readIndex int
+}
+
+// WithDep adds a dependency of the given type from the instruction at
+// (thread, from) to the instruction at (thread, to), where from and to are
+// 0-based positions within the thread.
+func WithDep(thread, from, to int, typ DepType) Option {
+	return func(b *builderState) {
+		b.deps = append(b.deps, coordDep{thread, from, to, typ})
+	}
+}
+
+// WithRMW marks the instructions at positions readIndex and readIndex+1 of
+// the given thread as an atomic read-modify-write pair.
+func WithRMW(thread, readIndex int) Option {
+	return func(b *builderState) {
+		b.rmws = append(b.rmws, coordRMW{thread, readIndex})
+	}
+}
+
+// WithGroups assigns scope groups to threads (scoped models). groups[i] is
+// the group of thread i.
+func WithGroups(groups ...int) Option {
+	return func(b *builderState) {
+		b.groups = groups
+	}
+}
+
+// New builds a litmus test from per-thread instruction lists. It panics on
+// structurally invalid input (this is a programming error in test
+// construction, not a runtime condition).
+func New(name string, threads [][]Op, opts ...Option) *Test {
+	var st builderState
+	for _, o := range opts {
+		o(&st)
+	}
+	t := &Test{Name: name, Groups: st.groups}
+	idOf := make(map[[2]int]int)
+	for th, ops := range threads {
+		for idx, op := range ops {
+			e := Event{
+				ID:     len(t.Events),
+				Thread: th,
+				Index:  idx,
+				Kind:   op.kind,
+				Order:  op.order,
+				Fence:  op.fence,
+				Scope:  op.scope,
+				Addr:   op.addr,
+			}
+			idOf[[2]int{th, idx}] = e.ID
+			t.Events = append(t.Events, e)
+		}
+	}
+	for _, d := range st.deps {
+		from, ok := idOf[[2]int{d.thread, d.from}]
+		if !ok {
+			panic(fmt.Sprintf("litmus: dep references missing instruction (%d,%d)", d.thread, d.from))
+		}
+		to, ok := idOf[[2]int{d.thread, d.to}]
+		if !ok {
+			panic(fmt.Sprintf("litmus: dep references missing instruction (%d,%d)", d.thread, d.to))
+		}
+		t.Deps = append(t.Deps, Dep{From: from, To: to, Type: d.typ})
+	}
+	for _, p := range st.rmws {
+		r, ok := idOf[[2]int{p.thread, p.readIndex}]
+		if !ok {
+			panic(fmt.Sprintf("litmus: RMW references missing instruction (%d,%d)", p.thread, p.readIndex))
+		}
+		w, ok := idOf[[2]int{p.thread, p.readIndex + 1}]
+		if !ok {
+			panic(fmt.Sprintf("litmus: RMW references missing instruction (%d,%d)", p.thread, p.readIndex+1))
+		}
+		t.RMW = append(t.RMW, [2]int{r, w})
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,463 @@
+// Package litmus defines the static representation of litmus tests: small
+// multi-threaded programs made of memory reads, writes, and fences, plus the
+// static relations between their instructions (program order, dependencies,
+// atomic read-modify-write pairing).
+//
+// A litmus test here carries no concrete values. Reads-from and coherence
+// assignments — and hence the values observed — are part of an execution
+// (package exec), matching the paper's treatment where an outcome is the
+// observable part of one execution of the test.
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an instruction.
+type Kind uint8
+
+const (
+	// KRead is a memory load.
+	KRead Kind = iota
+	// KWrite is a memory store.
+	KWrite
+	// KFence is a memory fence (no address).
+	KFence
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KRead:
+		return "Ld"
+	case KWrite:
+		return "St"
+	case KFence:
+		return "Fence"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Order is the memory-ordering strength annotation of a read or write,
+// covering the annotations used across the implemented models (C/C++ Table 1
+// of the paper, ARMv8-style acquire/release opcodes, SCC).
+type Order uint8
+
+const (
+	// OPlain is a plain (relaxed) access.
+	OPlain Order = iota
+	// OConsume is C/C++ memory_order_consume.
+	OConsume
+	// OAcquire is an acquire load.
+	OAcquire
+	// ORelease is a release store.
+	ORelease
+	// OAcqRel is C/C++ memory_order_acq_rel (RMW operations).
+	OAcqRel
+	// OSC is a sequentially consistent access.
+	OSC
+
+	numOrders = int(OSC) + 1
+)
+
+func (o Order) String() string {
+	switch o {
+	case OPlain:
+		return "rlx"
+	case OConsume:
+		return "con"
+	case OAcquire:
+		return "acq"
+	case ORelease:
+		return "rel"
+	case OAcqRel:
+		return "acqrel"
+	case OSC:
+		return "sc"
+	}
+	return fmt.Sprintf("Order(%d)", uint8(o))
+}
+
+// FenceKind identifies the fence instruction across the implemented models.
+type FenceKind uint8
+
+const (
+	// FNone marks a non-fence event.
+	FNone FenceKind = iota
+	// FMFence is the x86 mfence.
+	FMFence
+	// FLwSync is the Power lightweight fence.
+	FLwSync
+	// FSync is the Power heavyweight fence (also standing in for ARM dmb).
+	FSync
+	// FISync is the Power isync, used in control dependency chains.
+	FISync
+	// FAcqRel is an acquire-release fence (SCC FenceAcqRel, C/C++
+	// atomic_thread_fence(memory_order_acq_rel)).
+	FAcqRel
+	// FSC is a sequentially consistent fence (SCC FenceSC, C/C++
+	// atomic_thread_fence(memory_order_seq_cst)).
+	FSC
+	// FAcq is a C/C++ acquire fence.
+	FAcq
+	// FRel is a C/C++ release fence.
+	FRel
+
+	numFenceKinds = int(FRel) + 1
+)
+
+func (f FenceKind) String() string {
+	switch f {
+	case FNone:
+		return "none"
+	case FMFence:
+		return "mfence"
+	case FLwSync:
+		return "lwsync"
+	case FSync:
+		return "sync"
+	case FISync:
+		return "isync"
+	case FAcqRel:
+		return "acqrel"
+	case FSC:
+		return "sc"
+	case FAcq:
+		return "acq"
+	case FRel:
+		return "rel"
+	}
+	return fmt.Sprintf("FenceKind(%d)", uint8(f))
+}
+
+// Scope is the synchronization scope of an instruction in scoped models
+// (OpenCL/HSA-style). Non-scoped models leave it at ScopeNone.
+type Scope uint8
+
+const (
+	// ScopeNone marks a non-scoped instruction.
+	ScopeNone Scope = iota
+	// ScopeWG is workgroup scope: synchronizes only within the thread's
+	// group.
+	ScopeWG
+	// ScopeSys is system scope: synchronizes across all threads.
+	ScopeSys
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeNone:
+		return "noscope"
+	case ScopeWG:
+		return "wg"
+	case ScopeSys:
+		return "sys"
+	}
+	return fmt.Sprintf("Scope(%d)", uint8(s))
+}
+
+// DepType classifies a syntactic dependency from a read to a later
+// instruction in the same thread.
+type DepType uint8
+
+const (
+	// DepAddr is an address dependency.
+	DepAddr DepType = iota
+	// DepData is a data dependency (also the generic dependency type in
+	// models that do not distinguish dependency flavors).
+	DepData
+	// DepCtrl is a control dependency.
+	DepCtrl
+)
+
+func (d DepType) String() string {
+	switch d {
+	case DepAddr:
+		return "addr"
+	case DepData:
+		return "data"
+	case DepCtrl:
+		return "ctrl"
+	}
+	return fmt.Sprintf("DepType(%d)", uint8(d))
+}
+
+// Event is one instruction of a litmus test.
+type Event struct {
+	// ID is the event's index in Test.Events.
+	ID int
+	// Thread is the 0-based thread index.
+	Thread int
+	// Index is the event's 0-based position within its thread.
+	Index int
+	// Kind is the instruction class.
+	Kind Kind
+	// Order is the memory-ordering annotation (reads and writes only).
+	Order Order
+	// Fence is the fence kind (fences only; FNone otherwise).
+	Fence FenceKind
+	// Scope is the synchronization scope (scoped models only).
+	Scope Scope
+	// Addr is the 0-based memory location, or -1 for fences.
+	Addr int
+}
+
+// Dep is a syntactic dependency edge between two events of the same thread.
+type Dep struct {
+	// From is the source event ID (must be a read).
+	From int
+	// To is the target event ID (must be po-after From in the same thread).
+	To int
+	// Type is the dependency flavor.
+	Type DepType
+}
+
+// Test is a litmus test: its instructions and static relations. Tests are
+// immutable after construction; all relational queries are answered by
+// package exec.
+type Test struct {
+	// Name is a human-readable label ("MP", "SB+mfences", ...).
+	Name string
+	// Events holds all instructions, sorted by (Thread, Index), with
+	// Events[i].ID == i.
+	Events []Event
+	// Deps are the dependency edges.
+	Deps []Dep
+	// RMW pairs adjacent {read, write} event IDs forming atomic
+	// read-modify-write operations. The pair implies a data dependency
+	// from the read to the write.
+	RMW [][2]int
+	// Groups maps each thread to its scope group (scoped models). A nil
+	// Groups places every thread in group 0.
+	Groups []int
+}
+
+// NumThreads returns the number of threads.
+func (t *Test) NumThreads() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Thread+1 > n {
+			n = e.Thread + 1
+		}
+	}
+	return n
+}
+
+// NumAddrs returns the number of distinct memory locations.
+func (t *Test) NumAddrs() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Addr+1 > n {
+			n = e.Addr + 1
+		}
+	}
+	return n
+}
+
+// NumEvents returns the number of instructions.
+func (t *Test) NumEvents() int { return len(t.Events) }
+
+// Thread returns the event IDs of thread th in program order.
+func (t *Test) Thread(th int) []int {
+	var out []int
+	for _, e := range t.Events {
+		if e.Thread == th {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// GroupOf returns the scope group of thread th.
+func (t *Test) GroupOf(th int) int {
+	if t.Groups == nil || th >= len(t.Groups) {
+		return 0
+	}
+	return t.Groups[th]
+}
+
+// RMWPartner returns the write paired with read r (or the read paired with
+// write w) by an RMW pair, and whether such a pair exists.
+func (t *Test) RMWPartner(e int) (int, bool) {
+	for _, p := range t.RMW {
+		if p[0] == e {
+			return p[1], true
+		}
+		if p[1] == e {
+			return p[0], true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the structural invariants of the test and returns a
+// descriptive error for the first violation found.
+func (t *Test) Validate() error {
+	prevThread, prevIndex := -1, -1
+	for i, e := range t.Events {
+		if e.ID != i {
+			return fmt.Errorf("litmus: event %d has ID %d", i, e.ID)
+		}
+		if e.Thread < prevThread {
+			return fmt.Errorf("litmus: events not sorted by thread at %d", i)
+		}
+		if e.Thread == prevThread {
+			if e.Index != prevIndex+1 {
+				return fmt.Errorf("litmus: thread %d indices not contiguous at event %d", e.Thread, i)
+			}
+		} else {
+			if e.Thread != prevThread+1 {
+				return fmt.Errorf("litmus: thread numbering skips from %d to %d", prevThread, e.Thread)
+			}
+			if e.Index != 0 {
+				return fmt.Errorf("litmus: thread %d does not start at index 0", e.Thread)
+			}
+		}
+		prevThread, prevIndex = e.Thread, e.Index
+		switch e.Kind {
+		case KRead, KWrite:
+			if e.Addr < 0 {
+				return fmt.Errorf("litmus: memory event %d has no address", i)
+			}
+			if e.Fence != FNone {
+				return fmt.Errorf("litmus: memory event %d carries fence kind %v", i, e.Fence)
+			}
+		case KFence:
+			if e.Addr != -1 {
+				return fmt.Errorf("litmus: fence %d has address %d", i, e.Addr)
+			}
+			if e.Fence == FNone {
+				return fmt.Errorf("litmus: fence %d has no fence kind", i)
+			}
+			if e.Order != OPlain {
+				return fmt.Errorf("litmus: fence %d carries order %v; use Fence kinds", i, e.Order)
+			}
+		default:
+			return fmt.Errorf("litmus: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	// Addresses must be contiguous from 0.
+	seen := make([]bool, len(t.Events))
+	maxAddr := -1
+	for _, e := range t.Events {
+		if e.Addr >= 0 {
+			if e.Addr >= len(seen) {
+				return fmt.Errorf("litmus: address %d unreasonably large", e.Addr)
+			}
+			seen[e.Addr] = true
+			if e.Addr > maxAddr {
+				maxAddr = e.Addr
+			}
+		}
+	}
+	for a := 0; a <= maxAddr; a++ {
+		if !seen[a] {
+			return fmt.Errorf("litmus: address %d unused (addresses must be contiguous from 0)", a)
+		}
+	}
+	for _, d := range t.Deps {
+		if d.From < 0 || d.From >= len(t.Events) || d.To < 0 || d.To >= len(t.Events) {
+			return fmt.Errorf("litmus: dependency %v references missing event", d)
+		}
+		from, to := t.Events[d.From], t.Events[d.To]
+		if from.Kind != KRead {
+			return fmt.Errorf("litmus: dependency source %d is not a read", d.From)
+		}
+		if from.Thread != to.Thread || from.Index >= to.Index {
+			return fmt.Errorf("litmus: dependency %d->%d does not go forward within one thread", d.From, d.To)
+		}
+		if to.Kind == KFence && d.Type != DepCtrl {
+			return fmt.Errorf("litmus: non-control dependency %d->%d targets a fence", d.From, d.To)
+		}
+		if d.Type == DepAddr && to.Kind == KFence {
+			return fmt.Errorf("litmus: address dependency targets fence %d", d.To)
+		}
+	}
+	for _, p := range t.RMW {
+		if p[0] < 0 || p[0] >= len(t.Events) || p[1] < 0 || p[1] >= len(t.Events) {
+			return fmt.Errorf("litmus: RMW pair %v references missing event", p)
+		}
+		r, w := t.Events[p[0]], t.Events[p[1]]
+		if r.Kind != KRead || w.Kind != KWrite {
+			return fmt.Errorf("litmus: RMW pair %v is not read->write", p)
+		}
+		if r.Thread != w.Thread || w.Index != r.Index+1 {
+			return fmt.Errorf("litmus: RMW pair %v is not po-adjacent", p)
+		}
+		if r.Addr != w.Addr {
+			return fmt.Errorf("litmus: RMW pair %v spans addresses %d and %d", p, r.Addr, w.Addr)
+		}
+	}
+	if t.Groups != nil && len(t.Groups) < t.NumThreads() {
+		return fmt.Errorf("litmus: Groups covers %d of %d threads", len(t.Groups), t.NumThreads())
+	}
+	return nil
+}
+
+// AddrName returns the conventional name for address a: x, y, z, w, a1, ...
+func AddrName(a int) string {
+	names := []string{"x", "y", "z", "w"}
+	if a < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("a%d", a-len(names)+1)
+}
+
+// EventString renders one event compactly, e.g. "Ld.acq x" or "F.sync".
+func EventString(e Event) string {
+	var b strings.Builder
+	switch e.Kind {
+	case KFence:
+		fmt.Fprintf(&b, "F.%s", e.Fence)
+	case KRead:
+		b.WriteString("Ld")
+		if e.Order != OPlain {
+			fmt.Fprintf(&b, ".%s", e.Order)
+		}
+		fmt.Fprintf(&b, " %s", AddrName(e.Addr))
+	case KWrite:
+		b.WriteString("St")
+		if e.Order != OPlain {
+			fmt.Fprintf(&b, ".%s", e.Order)
+		}
+		fmt.Fprintf(&b, " %s", AddrName(e.Addr))
+	}
+	if e.Scope != ScopeNone {
+		fmt.Fprintf(&b, "@%s", e.Scope)
+	}
+	return b.String()
+}
+
+// String renders the test as one line per thread, separated by "||", with
+// dependency edges, RMW pairs, and scope groups appended in braces.
+func (t *Test) String() string {
+	var threads []string
+	for th := 0; th < t.NumThreads(); th++ {
+		var ops []string
+		for _, id := range t.Thread(th) {
+			ops = append(ops, EventString(t.Events[id]))
+		}
+		threads = append(threads, strings.Join(ops, "; "))
+	}
+	body := strings.Join(threads, " || ")
+	var extras []string
+	for _, d := range t.Deps {
+		from, to := t.Events[d.From], t.Events[d.To]
+		extras = append(extras, fmt.Sprintf("%s %d:%d->%d:%d",
+			d.Type, from.Thread, from.Index, to.Thread, to.Index))
+	}
+	for _, p := range t.RMW {
+		r := t.Events[p[0]]
+		extras = append(extras, fmt.Sprintf("rmw %d:%d", r.Thread, r.Index))
+	}
+	if t.Groups != nil {
+		extras = append(extras, fmt.Sprintf("groups %v", t.Groups))
+	}
+	if len(extras) > 0 {
+		body += " {" + strings.Join(extras, "; ") + "}"
+	}
+	if t.Name != "" {
+		return t.Name + ": " + body
+	}
+	return body
+}

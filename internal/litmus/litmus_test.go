@@ -1,0 +1,209 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+// mp builds the message-passing test of paper Fig. 1.
+func mp() *Test {
+	return New("MP", [][]Op{
+		{W(0), Wrel(1)},
+		{Racq(1), R(0)},
+	})
+}
+
+func TestBuilderMP(t *testing.T) {
+	m := mp()
+	if got := m.NumEvents(); got != 4 {
+		t.Fatalf("NumEvents = %d, want 4", got)
+	}
+	if got := m.NumThreads(); got != 2 {
+		t.Fatalf("NumThreads = %d, want 2", got)
+	}
+	if got := m.NumAddrs(); got != 2 {
+		t.Fatalf("NumAddrs = %d, want 2", got)
+	}
+	if m.Events[1].Order != ORelease || m.Events[1].Kind != KWrite {
+		t.Errorf("event 1 = %+v, want release store", m.Events[1])
+	}
+	if m.Events[2].Order != OAcquire || m.Events[2].Kind != KRead {
+		t.Errorf("event 2 = %+v, want acquire load", m.Events[2])
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestThreadAccessor(t *testing.T) {
+	m := mp()
+	if got := m.Thread(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Thread(0) = %v", got)
+	}
+	if got := m.Thread(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Thread(1) = %v", got)
+	}
+}
+
+func TestBuilderDeps(t *testing.T) {
+	m := New("LB+datas", [][]Op{
+		{R(0), W(1)},
+		{R(1), W(0)},
+	}, WithDep(0, 0, 1, DepData), WithDep(1, 0, 1, DepData))
+	if len(m.Deps) != 2 {
+		t.Fatalf("deps = %v", m.Deps)
+	}
+	if m.Deps[0].From != 0 || m.Deps[0].To != 1 {
+		t.Errorf("dep 0 = %+v", m.Deps[0])
+	}
+	if m.Deps[1].From != 2 || m.Deps[1].To != 3 {
+		t.Errorf("dep 1 = %+v", m.Deps[1])
+	}
+}
+
+func TestBuilderRMW(t *testing.T) {
+	m := New("rmw", [][]Op{
+		{R(0), W(0)},
+		{W(0)},
+	}, WithRMW(0, 0))
+	if len(m.RMW) != 1 || m.RMW[0] != [2]int{0, 1} {
+		t.Fatalf("RMW = %v", m.RMW)
+	}
+	if p, ok := m.RMWPartner(0); !ok || p != 1 {
+		t.Errorf("RMWPartner(0) = %d,%v", p, ok)
+	}
+	if p, ok := m.RMWPartner(1); !ok || p != 0 {
+		t.Errorf("RMWPartner(1) = %d,%v", p, ok)
+	}
+	if _, ok := m.RMWPartner(2); ok {
+		t.Error("RMWPartner(2) should not exist")
+	}
+}
+
+func TestBuilderGroups(t *testing.T) {
+	m := New("scoped", [][]Op{
+		{W(0).WithScope(ScopeWG)},
+		{R(0).WithScope(ScopeSys)},
+	}, WithGroups(0, 1))
+	if m.GroupOf(0) != 0 || m.GroupOf(1) != 1 {
+		t.Errorf("groups = %v", m.Groups)
+	}
+	plain := mp()
+	if plain.GroupOf(1) != 0 {
+		t.Error("default group not 0")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		test Test
+	}{
+		{"bad id", Test{Events: []Event{{ID: 5, Kind: KRead, Addr: 0}}}},
+		{"fence with addr", Test{Events: []Event{{ID: 0, Kind: KFence, Fence: FSync, Addr: 0}}}},
+		{"fence without kind", Test{Events: []Event{{ID: 0, Kind: KFence, Addr: -1}}}},
+		{"read without addr", Test{Events: []Event{{ID: 0, Kind: KRead, Addr: -1}}}},
+		{"address gap", Test{Events: []Event{
+			{ID: 0, Kind: KWrite, Addr: 1},
+		}}},
+		{"dep from write", Test{
+			Events: []Event{
+				{ID: 0, Kind: KWrite, Addr: 0},
+				{ID: 1, Thread: 0, Index: 1, Kind: KWrite, Addr: 0},
+			},
+			Deps: []Dep{{From: 0, To: 1, Type: DepData}},
+		}},
+		{"dep backwards", Test{
+			Events: []Event{
+				{ID: 0, Kind: KRead, Addr: 0},
+				{ID: 1, Thread: 0, Index: 1, Kind: KRead, Addr: 0},
+			},
+			Deps: []Dep{{From: 1, To: 0, Type: DepData}},
+		}},
+		{"rmw not adjacent", Test{
+			Events: []Event{
+				{ID: 0, Kind: KRead, Addr: 0},
+				{ID: 1, Thread: 0, Index: 1, Kind: KFence, Fence: FSync, Addr: -1},
+				{ID: 2, Thread: 0, Index: 2, Kind: KWrite, Addr: 0},
+			},
+			RMW: [][2]int{{0, 2}},
+		}},
+		{"rmw cross-address", Test{
+			Events: []Event{
+				{ID: 0, Kind: KRead, Addr: 0},
+				{ID: 1, Thread: 0, Index: 1, Kind: KWrite, Addr: 1},
+				{ID: 2, Thread: 1, Index: 0, Kind: KWrite, Addr: 0},
+			},
+			RMW: [][2]int{{0, 1}},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.test.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid test", c.name)
+		}
+	}
+}
+
+func TestBuilderPanicsOnBadCoordinates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range dep")
+		}
+	}()
+	New("bad", [][]Op{{R(0)}}, WithDep(0, 0, 5, DepData))
+}
+
+func TestStringRendering(t *testing.T) {
+	m := mp()
+	s := m.String()
+	for _, want := range []string{"MP", "St x", "St.rel y", "Ld.acq y", "Ld x", "||"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	f := New("fenced", [][]Op{{W(0), F(FSync), R(0)}})
+	if !strings.Contains(f.String(), "F.sync") {
+		t.Errorf("fence rendering: %q", f.String())
+	}
+	sc := New("scoped", [][]Op{{W(0).WithScope(ScopeWG)}})
+	if !strings.Contains(sc.String(), "@wg") {
+		t.Errorf("scope rendering: %q", sc.String())
+	}
+}
+
+func TestAddrName(t *testing.T) {
+	names := []string{"x", "y", "z", "w", "a1", "a2"}
+	for i, want := range names {
+		if got := AddrName(i); got != want {
+			t.Errorf("AddrName(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	checks := map[string]string{
+		KRead.String():    "Ld",
+		KWrite.String():   "St",
+		KFence.String():   "Fence",
+		OPlain.String():   "rlx",
+		OAcquire.String(): "acq",
+		ORelease.String(): "rel",
+		OAcqRel.String():  "acqrel",
+		OSC.String():      "sc",
+		OConsume.String(): "con",
+		FSync.String():    "sync",
+		FLwSync.String():  "lwsync",
+		FMFence.String():  "mfence",
+		FSC.String():      "sc",
+		DepAddr.String():  "addr",
+		DepData.String():  "data",
+		DepCtrl.String():  "ctrl",
+		ScopeWG.String():  "wg",
+		ScopeSys.String(): "sys",
+	}
+	for got, want := range checks {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

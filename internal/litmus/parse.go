@@ -1,0 +1,377 @@
+package litmus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Spec is a parsed litmus file: a test plus an optional forbidden-outcome
+// specification.
+type Spec struct {
+	Test *Test
+	// Forbid lists outcome conditions (conjunctive); empty when the file
+	// specifies no outcome.
+	Forbid []OutcomeCond
+}
+
+// OutcomeCond is one conjunct of an outcome specification: either a read
+// observation (Thread/Index of the read and the value) or a final memory
+// value (Addr and the value).
+type OutcomeCond struct {
+	// Final marks a final-memory condition; otherwise a read observation.
+	Final bool
+	// Thread and Index locate the read (read observations only).
+	Thread, Index int
+	// Addr is the memory location (final conditions only).
+	Addr int
+	// Value is the expected concrete value.
+	Value int
+}
+
+// Parse reads the textual litmus format:
+//
+//	# comment
+//	name: MP+rel+acq
+//	T0: St x; St.rel y
+//	T1: Ld.acq y; Ld x
+//	dep: 1:0 -> 1:1 addr
+//	rmw: 0:0
+//	groups: 0 1
+//	forbid: 1:0=1 1:1=0 [x]=1
+//
+// Threads are "T<i>:" lines with semicolon-separated instructions
+// (St/Ld with optional ".<order>" suffix and optional "@<scope>", F.<kind>
+// fences). Addresses are identifiers, numbered in order of first use.
+func Parse(r io.Reader) (*Spec, error) {
+	scanner := bufio.NewScanner(r)
+	name := ""
+	threadOps := map[int][]Op{}
+	maxThread := -1
+	var deps []coordDep
+	var rmws []coordRMW
+	var groups []int
+	var forbid []OutcomeCond
+	addrs := map[string]int{}
+	addrOf := func(id string) int {
+		if a, ok := addrs[id]; ok {
+			return a
+		}
+		a := len(addrs)
+		addrs[id] = a
+		return a
+	}
+
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("litmus: line %d: missing ':'", lineNo)
+		}
+		key = strings.TrimSpace(key)
+		rest = strings.TrimSpace(rest)
+		switch {
+		case key == "name":
+			name = rest
+		case strings.HasPrefix(key, "T"):
+			th, err := strconv.Atoi(key[1:])
+			if err != nil || th < 0 {
+				return nil, fmt.Errorf("litmus: line %d: bad thread label %q", lineNo, key)
+			}
+			if _, dup := threadOps[th]; dup {
+				return nil, fmt.Errorf("litmus: line %d: duplicate thread %d", lineNo, th)
+			}
+			ops, err := parseOps(rest, addrOf)
+			if err != nil {
+				return nil, fmt.Errorf("litmus: line %d: %v", lineNo, err)
+			}
+			threadOps[th] = ops
+			if th > maxThread {
+				maxThread = th
+			}
+		case key == "dep":
+			d, err := parseDep(rest)
+			if err != nil {
+				return nil, fmt.Errorf("litmus: line %d: %v", lineNo, err)
+			}
+			deps = append(deps, d)
+		case key == "rmw":
+			th, idx, err := parseCoord(rest)
+			if err != nil {
+				return nil, fmt.Errorf("litmus: line %d: %v", lineNo, err)
+			}
+			rmws = append(rmws, coordRMW{thread: th, readIndex: idx})
+		case key == "groups":
+			for _, tok := range strings.Fields(rest) {
+				g, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("litmus: line %d: bad group %q", lineNo, tok)
+				}
+				groups = append(groups, g)
+			}
+		case key == "forbid":
+			conds, err := parseForbid(rest, addrs)
+			if err != nil {
+				return nil, fmt.Errorf("litmus: line %d: %v", lineNo, err)
+			}
+			forbid = conds
+		default:
+			return nil, fmt.Errorf("litmus: line %d: unknown directive %q", lineNo, key)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if maxThread < 0 {
+		return nil, fmt.Errorf("litmus: no threads")
+	}
+	threads := make([][]Op, maxThread+1)
+	for th := 0; th <= maxThread; th++ {
+		ops, ok := threadOps[th]
+		if !ok {
+			return nil, fmt.Errorf("litmus: thread %d missing", th)
+		}
+		threads[th] = ops
+	}
+	var opts []Option
+	for _, d := range deps {
+		opts = append(opts, WithDep(d.thread, d.from, d.to, d.typ))
+	}
+	for _, p := range rmws {
+		opts = append(opts, WithRMW(p.thread, p.readIndex))
+	}
+	if groups != nil {
+		opts = append(opts, WithGroups(groups...))
+	}
+	var t *Test
+	var buildErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buildErr = fmt.Errorf("%v", r)
+			}
+		}()
+		t = New(name, threads, opts...)
+	}()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return &Spec{Test: t, Forbid: forbid}, nil
+}
+
+func parseOps(s string, addrOf func(string) int) ([]Op, error) {
+	var ops []Op
+	for _, raw := range strings.Split(s, ";") {
+		tok := strings.TrimSpace(raw)
+		if tok == "" {
+			continue
+		}
+		op, err := parseOp(tok, addrOf)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty thread")
+	}
+	return ops, nil
+}
+
+func parseOp(tok string, addrOf func(string) int) (Op, error) {
+	// Split off "@scope".
+	scope := ScopeNone
+	if at := strings.IndexByte(tok, '@'); at >= 0 {
+		switch strings.TrimSpace(tok[at+1:]) {
+		case "wg":
+			scope = ScopeWG
+		case "sys":
+			scope = ScopeSys
+		default:
+			return Op{}, fmt.Errorf("bad scope in %q", tok)
+		}
+		tok = strings.TrimSpace(tok[:at])
+	}
+	fields := strings.Fields(tok)
+	mnemonic := fields[0]
+	base, suffix, _ := strings.Cut(mnemonic, ".")
+	switch base {
+	case "F":
+		if len(fields) != 1 {
+			return Op{}, fmt.Errorf("fence %q takes no operand", tok)
+		}
+		fk, err := parseFenceKind(suffix)
+		if err != nil {
+			return Op{}, err
+		}
+		return F(fk).WithScope(scope), nil
+	case "Ld", "St":
+		if len(fields) != 2 {
+			return Op{}, fmt.Errorf("%q needs exactly one address", tok)
+		}
+		ord, err := parseOrder(suffix)
+		if err != nil {
+			return Op{}, err
+		}
+		addr := addrOf(fields[1])
+		if base == "Ld" {
+			return R(addr).WithOrder(ord).WithScope(scope), nil
+		}
+		return W(addr).WithOrder(ord).WithScope(scope), nil
+	}
+	return Op{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func parseOrder(s string) (Order, error) {
+	switch s {
+	case "", "rlx":
+		return OPlain, nil
+	case "con":
+		return OConsume, nil
+	case "acq":
+		return OAcquire, nil
+	case "rel":
+		return ORelease, nil
+	case "acqrel":
+		return OAcqRel, nil
+	case "sc":
+		return OSC, nil
+	}
+	return 0, fmt.Errorf("unknown memory order %q", s)
+}
+
+func parseFenceKind(s string) (FenceKind, error) {
+	switch s {
+	case "mfence":
+		return FMFence, nil
+	case "lwsync":
+		return FLwSync, nil
+	case "sync", "dmb":
+		return FSync, nil
+	case "isync", "isb":
+		return FISync, nil
+	case "acqrel":
+		return FAcqRel, nil
+	case "sc":
+		return FSC, nil
+	case "acq":
+		return FAcq, nil
+	case "rel":
+		return FRel, nil
+	}
+	return 0, fmt.Errorf("unknown fence kind %q", s)
+}
+
+func parseCoord(s string) (thread, index int, err error) {
+	a, b, found := strings.Cut(strings.TrimSpace(s), ":")
+	if !found {
+		return 0, 0, fmt.Errorf("bad coordinate %q (want thread:index)", s)
+	}
+	if thread, err = strconv.Atoi(a); err != nil {
+		return 0, 0, fmt.Errorf("bad thread in %q", s)
+	}
+	if index, err = strconv.Atoi(b); err != nil {
+		return 0, 0, fmt.Errorf("bad index in %q", s)
+	}
+	return thread, index, nil
+}
+
+func parseDep(s string) (coordDep, error) {
+	parts := strings.Fields(s)
+	if len(parts) != 4 || parts[1] != "->" {
+		return coordDep{}, fmt.Errorf("bad dep %q (want 'T:I -> T:I type')", s)
+	}
+	fromTh, fromIdx, err := parseCoord(parts[0])
+	if err != nil {
+		return coordDep{}, err
+	}
+	toTh, toIdx, err := parseCoord(parts[2])
+	if err != nil {
+		return coordDep{}, err
+	}
+	if fromTh != toTh {
+		return coordDep{}, fmt.Errorf("dep %q crosses threads", s)
+	}
+	var typ DepType
+	switch parts[3] {
+	case "addr":
+		typ = DepAddr
+	case "data":
+		typ = DepData
+	case "ctrl":
+		typ = DepCtrl
+	default:
+		return coordDep{}, fmt.Errorf("unknown dep type %q", parts[3])
+	}
+	return coordDep{thread: fromTh, from: fromIdx, to: toIdx, typ: typ}, nil
+}
+
+func parseForbid(s string, addrs map[string]int) ([]OutcomeCond, error) {
+	var conds []OutcomeCond
+	for _, tok := range strings.Fields(s) {
+		lhs, rhs, found := strings.Cut(tok, "=")
+		if !found {
+			return nil, fmt.Errorf("bad outcome term %q", tok)
+		}
+		value, err := strconv.Atoi(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", tok)
+		}
+		if strings.HasPrefix(lhs, "[") && strings.HasSuffix(lhs, "]") {
+			name := lhs[1 : len(lhs)-1]
+			a, ok := addrs[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown address %q", name)
+			}
+			conds = append(conds, OutcomeCond{Final: true, Addr: a, Value: value})
+			continue
+		}
+		th, idx, err := parseCoord(lhs)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, OutcomeCond{Thread: th, Index: idx, Value: value})
+	}
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("empty forbid specification")
+	}
+	return conds, nil
+}
+
+// Format renders t in the textual format accepted by Parse.
+func Format(t *Test) string {
+	var b strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&b, "name: %s\n", t.Name)
+	}
+	for th := 0; th < t.NumThreads(); th++ {
+		var ops []string
+		for _, id := range t.Thread(th) {
+			ops = append(ops, EventString(t.Events[id]))
+		}
+		fmt.Fprintf(&b, "T%d: %s\n", th, strings.Join(ops, "; "))
+	}
+	for _, d := range t.Deps {
+		from, to := t.Events[d.From], t.Events[d.To]
+		fmt.Fprintf(&b, "dep: %d:%d -> %d:%d %s\n", from.Thread, from.Index, to.Thread, to.Index, d.Type)
+	}
+	for _, p := range t.RMW {
+		r := t.Events[p[0]]
+		fmt.Fprintf(&b, "rmw: %d:%d\n", r.Thread, r.Index)
+	}
+	if t.Groups != nil {
+		strs := make([]string, len(t.Groups))
+		for i, g := range t.Groups {
+			strs[i] = strconv.Itoa(g)
+		}
+		fmt.Fprintf(&b, "groups: %s\n", strings.Join(strs, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package litmus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parseString(t *testing.T, s string) *Spec {
+	t.Helper()
+	spec, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return spec
+}
+
+func TestParseMP(t *testing.T) {
+	spec := parseString(t, `
+# Message passing with release/acquire
+name: MP+rel+acq
+T0: St x; St.rel y
+T1: Ld.acq y; Ld x
+forbid: 1:0=1 1:1=0
+`)
+	lt := spec.Test
+	if lt.Name != "MP+rel+acq" {
+		t.Errorf("name = %q", lt.Name)
+	}
+	if lt.NumEvents() != 4 || lt.NumThreads() != 2 || lt.NumAddrs() != 2 {
+		t.Fatalf("shape wrong: %v", lt)
+	}
+	if lt.Events[1].Order != ORelease || lt.Events[2].Order != OAcquire {
+		t.Errorf("orders wrong: %v", lt)
+	}
+	if len(spec.Forbid) != 2 {
+		t.Fatalf("forbid = %v", spec.Forbid)
+	}
+	if spec.Forbid[0].Thread != 1 || spec.Forbid[0].Index != 0 || spec.Forbid[0].Value != 1 {
+		t.Errorf("forbid[0] = %+v", spec.Forbid[0])
+	}
+}
+
+func TestParseDepsRMWGroups(t *testing.T) {
+	spec := parseString(t, `
+name: full
+T0: Ld x; St y; F.sync
+T1: Ld y @wg; St y @sys
+dep: 0:0 -> 0:1 data
+rmw: 1:0
+groups: 0 1
+forbid: [x]=1
+`)
+	lt := spec.Test
+	if len(lt.Deps) != 1 || lt.Deps[0].Type != DepData {
+		t.Errorf("deps = %v", lt.Deps)
+	}
+	if len(lt.RMW) != 1 {
+		t.Errorf("rmw = %v", lt.RMW)
+	}
+	if lt.GroupOf(1) != 1 {
+		t.Errorf("groups = %v", lt.Groups)
+	}
+	if lt.Events[3].Scope != ScopeWG || lt.Events[4].Scope != ScopeSys {
+		t.Errorf("scopes wrong: %+v %+v", lt.Events[3], lt.Events[4])
+	}
+	if !spec.Forbid[0].Final || spec.Forbid[0].Addr != 0 {
+		t.Errorf("forbid = %+v", spec.Forbid[0])
+	}
+}
+
+func TestParseFenceKinds(t *testing.T) {
+	spec := parseString(t, `
+T0: St x; F.lwsync; St y
+T1: Ld y; F.isync; Ld x
+`)
+	if spec.Test.Events[1].Fence != FLwSync || spec.Test.Events[4].Fence != FISync {
+		t.Errorf("fences wrong: %v", spec.Test)
+	}
+	// dmb aliases to sync.
+	spec = parseString(t, "T0: St x; F.dmb; St y\nT1: Ld y; Ld x\n")
+	if spec.Test.Events[1].Fence != FSync {
+		t.Error("dmb alias broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                       // no threads
+		"T0: Bogus x\n",                          // unknown mnemonic
+		"T0: Ld\n",                               // missing address
+		"T0: Ld.zz x\n",                          // bad order
+		"T0: F.zz\n",                             // bad fence
+		"T0: Ld x\nT2: Ld x\n",                   // thread gap
+		"T0: Ld x\nT0: St x\n",                   // duplicate thread
+		"T0: Ld x @zz\n",                         // bad scope
+		"T0: Ld x; St y\ndep: 0:0 -> 1:1 data\n", // cross-thread dep
+		"T0: Ld x; St y\ndep: 0:0 -> 0:1 zz\n",   // bad dep type
+		"T0: Ld x\nforbid: bogus\n",              // bad outcome term
+		"T0: Ld x\nforbid: [zz]=1\n",             // unknown address
+		"zz: 1\n",                                // unknown directive
+		"T0: St x; St x\nrmw: 0:0\n",             // rmw over two writes (builder panics -> error)
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted %q", i, c)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := New("RT", [][]Op{
+		{W(0), F(FLwSync), Wrel(1)},
+		{Racq(1).WithScope(ScopeWG), R(0)},
+	}, WithDep(1, 0, 1, DepAddr), WithGroups(0, 1))
+	text := Format(orig)
+	spec, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse(Format(t)): %v\n%s", err, text)
+	}
+	if Format(spec.Test) != text {
+		t.Errorf("round trip differs:\n%s\n---\n%s", text, Format(spec.Test))
+	}
+}
+
+func TestQuickFormatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numThreads := 1 + rng.Intn(3)
+		var threads [][]Op
+		remap := map[int]int{}
+		addrOf := func(a int) int {
+			if v, ok := remap[a]; ok {
+				return v
+			}
+			v := len(remap)
+			remap[a] = v
+			return v
+		}
+		for th := 0; th < numThreads; th++ {
+			size := 1 + rng.Intn(3)
+			var ops []Op
+			for i := 0; i < size; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					ops = append(ops, R(addrOf(rng.Intn(2))))
+				case 1:
+					ops = append(ops, W(addrOf(rng.Intn(2))))
+				case 2:
+					ops = append(ops, Racq(addrOf(rng.Intn(2))))
+				case 3:
+					ops = append(ops, Wrel(addrOf(rng.Intn(2))).WithScope(ScopeSys))
+				case 4:
+					ops = append(ops, F(FSync))
+				case 5:
+					ops = append(ops, F(FSC))
+				}
+			}
+			threads = append(threads, ops)
+		}
+		orig := New("rt", threads)
+		text := Format(orig)
+		spec, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return false
+		}
+		return Format(spec.Test) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package memmodel
+
+import (
+	"testing"
+
+	. "memsynth/internal/litmus"
+)
+
+func TestARMv8Model(t *testing.T) {
+	v8 := ARMv8()
+
+	// Plain relaxed behaviors remain observable (same base as ARMv7).
+	expect(t, v8, mpPlain(), mpForbidden, true)
+	expect(t, v8, sbPlain(), sbForbidden, true)
+	expect(t, v8, lbPlain(), lbForbidden, true)
+
+	// MP with STLR/LDAR (paper §3.2's DMO example): forbidden.
+	mpRA := New("MP+stlr+ldar", [][]Op{
+		{W(0), Wrel(1)},
+		{Racq(1), R(0)},
+	})
+	expect(t, v8, mpRA, mpForbidden, false)
+
+	// Half-synchronized variants stay observable.
+	mpRel := New("MP+stlr", [][]Op{
+		{W(0), Wrel(1)},
+		{R(1), R(0)},
+	})
+	expect(t, v8, mpRel, mpForbidden, true)
+	mpAcq := New("MP+ldar", [][]Op{
+		{W(0), W(1)},
+		{Racq(1), R(0)},
+	})
+	expect(t, v8, mpAcq, mpForbidden, true)
+
+	// RCpc flavor: release-then-acquire of different locations does not
+	// order W->R, so SB with STLR/LDAR stays observable; dmb forbids it.
+	sbRA := New("SB+stlr+ldar", [][]Op{
+		{Wrel(0), Racq(1)},
+		{Wrel(1), Racq(0)},
+	})
+	expect(t, v8, sbRA, sbForbidden, true)
+	sbDmb := New("SB+dmbs", [][]Op{
+		{W(0), F(FSync), R(1)},
+		{W(1), F(FSync), R(0)},
+	})
+	expect(t, v8, sbDmb, readVals(map[int]int{2: 0, 5: 0}), false)
+
+	// Dependencies still order (inherited ARMv7 machinery).
+	mpAddr := New("MP+dmb+addr", [][]Op{
+		{W(0), F(FSync), W(1)},
+		{R(1), R(0)},
+	}, WithDep(1, 0, 1, DepAddr))
+	expect(t, v8, mpAddr, readVals(map[int]int{3: 1, 4: 0}), false)
+}
+
+func TestARMv8DMOMinimality(t *testing.T) {
+	// The LDAR->LDR / STLR->STR demotions are exactly the DMO instances
+	// of the paper's §3.2.
+	v8 := ARMv8()
+	spec := v8.Relax()
+	probe := func(op Op) Event {
+		lt := New("p", [][]Op{{op}})
+		return lt.Events[0]
+	}
+	if got := spec.DemoteOrder(probe(Racq(0))); len(got) != 1 || got[0] != OPlain {
+		t.Errorf("LDAR demotion = %v", got)
+	}
+	if got := spec.DemoteOrder(probe(Wrel(0))); len(got) != 1 || got[0] != OPlain {
+		t.Errorf("STLR demotion = %v", got)
+	}
+	if got := spec.DemoteOrder(probe(R(0))); got != nil {
+		t.Errorf("LDR demotion = %v, want none", got)
+	}
+}
+
+func TestARMv8AcquireOrdersLaterAccesses(t *testing.T) {
+	v8 := ARMv8()
+	// WRC with an acquire in the middle thread and address dependency on
+	// the reader: the acquire orders the read before the po-later write.
+	wrc := New("WRC+ldar+addr", [][]Op{
+		{W(0)},
+		{Racq(0), W(1)},
+		{R(1), R(0)},
+	}, WithDep(2, 0, 1, DepAddr))
+	forbidden := readVals(map[int]int{1: 1, 3: 1, 4: 0})
+	expect(t, v8, wrc, forbidden, false)
+
+	// Without the acquire, observable.
+	wrcPlain := New("WRC+addr", [][]Op{
+		{W(0)},
+		{R(0), W(1)},
+		{R(1), R(0)},
+	}, WithDep(2, 0, 1, DepAddr))
+	expect(t, v8, wrcPlain, forbidden, true)
+}

@@ -1,0 +1,219 @@
+package memmodel
+
+import (
+	"testing"
+
+	"memsynth/internal/exec"
+	. "memsynth/internal/litmus"
+)
+
+// TestSCCSyncThroughRMWChain exercises Fig. 17's ^(rf+rmw) chain: release
+// synchronization must pass through an intervening RMW, so an acquire that
+// reads the RMW's write still synchronizes with the original release.
+func TestSCCSyncThroughRMWChain(t *testing.T) {
+	scc := SCC()
+	// T0: St x; St.rel y      (publish data, release flag)
+	// T1: RMW(y)              (fetch-and-modify the flag, relaxed)
+	// T2: Ld.acq y; Ld x      (acquire the flag, read data)
+	chain := New("MP+rmw-chain", [][]Op{
+		{W(0), Wrel(1)},
+		{R(1), W(1)},
+		{Racq(1), R(0)},
+	}, WithRMW(1, 0))
+	// T1's RMW reads the release (e1); T2's acquire reads the RMW's write
+	// (e3); the data read misses: must be forbidden (sync chains through
+	// rf;rmw).
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[2] == 1 && x.RF[4] == 3 && x.ReadValue(5) == 0
+	}
+	expect(t, scc, chain, forbidden, false)
+
+	// Without the RMW pairing (a plain read-write pair in T1), the chain
+	// breaks: the acquire reads a plain store, so no synchronization with
+	// the original release is established.
+	broken := New("MP+plain-chain", [][]Op{
+		{W(0), Wrel(1)},
+		{R(1), W(1)},
+		{Racq(1), R(0)},
+	})
+	expect(t, scc, broken, forbidden, true)
+}
+
+// TestSCCReleaseSequencePrefix exercises the (Release <: po_loc) prefix of
+// Fig. 17: a release followed in program order by a same-address plain
+// store still synchronizes an acquire reading that later store.
+func TestSCCReleaseSequencePrefix(t *testing.T) {
+	scc := SCC()
+	rs := New("MP+release-sequence", [][]Op{
+		{W(0), Wrel(1), W(1)},
+		{Racq(1), R(0)},
+	})
+	// Acquire reads the *plain* store e2 (po_loc-after the release e1);
+	// the data read misses.
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[3] == 2 && x.ReadValue(4) == 0
+	}
+	expect(t, scc, rs, forbidden, false)
+
+	// If the later same-address store is on another thread, the prefix
+	// does not apply: observable.
+	other := New("MP+foreign-store", [][]Op{
+		{W(0), Wrel(1)},
+		{W(1)},
+		{Racq(1), R(0)},
+	})
+	forbidden2 := func(x *exec.Execution) bool {
+		return x.RF[3] == 2 && x.ReadValue(4) == 0
+	}
+	expect(t, scc, other, forbidden2, true)
+}
+
+// TestC11FenceOneSided: a single SC fence cannot forbid SB (both sides
+// need one).
+func TestC11FenceOneSided(t *testing.T) {
+	c := C11()
+	oneSided := New("SB+onescfence", [][]Op{
+		{W(0), F(FSC), R(1)},
+		{W(1), R(0)},
+	})
+	relaxed := func(x *exec.Execution) bool {
+		return x.ReadValue(2) == 0 && x.ReadValue(4) == 0
+	}
+	expect(t, c, oneSided, relaxed, true)
+}
+
+// TestC11ReleaseSequenceThroughRMW: C11's rs includes rf;rmw chains, so an
+// acquire reading an RMW that read the release synchronizes.
+func TestC11ReleaseSequenceThroughRMW(t *testing.T) {
+	c := C11()
+	chain := New("MP+rmw-chain", [][]Op{
+		{W(0), Wrel(1)},
+		{R(1), W(1)},
+		{Racq(1), R(0)},
+	}, WithRMW(1, 0))
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[2] == 1 && x.RF[4] == 3 && x.ReadValue(5) == 0
+	}
+	expect(t, c, chain, forbidden, false)
+
+	// Decomposed (non-RMW) middle pair: no synchronization.
+	broken := New("MP+plain-chain", [][]Op{
+		{W(0), Wrel(1)},
+		{R(1), W(1)},
+		{Racq(1), R(0)},
+	})
+	expect(t, c, broken, forbidden, true)
+}
+
+// TestPowerSTestAndRVariants rounds out the Cambridge shapes.
+func TestPowerSTestAndRVariants(t *testing.T) {
+	p := Power()
+	// S+lwsync+data: forbidden (checked against cats in the suites
+	// package; pinned here at the model level).
+	s := New("S+lwsync+data", [][]Op{
+		{W(0), F(FLwSync), W(1)},
+		{R(1), W(0)},
+	}, WithDep(1, 0, 1, DepData))
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[3] == 2 && x.CO[0][0] == 4 && x.CO[0][1] == 0
+	}
+	expect(t, p, s, forbidden, false)
+
+	// S plain: observable.
+	sPlain := New("S", [][]Op{
+		{W(0), W(1)},
+		{R(1), W(0)},
+	})
+	forbiddenPlain := func(x *exec.Execution) bool {
+		return x.RF[2] == 1 && x.CO[0][0] == 3 && x.CO[0][1] == 0
+	}
+	expect(t, p, sPlain, forbiddenPlain, true)
+
+	// R+syncs: forbidden.
+	r := New("R+syncs", [][]Op{
+		{W(0), F(FSync), W(1)},
+		{W(1), F(FSync), R(0)},
+	})
+	rForbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(5) == 0 && x.CO[1][0] == 2 && x.CO[1][1] == 3
+	}
+	expect(t, p, r, rForbidden, false)
+}
+
+// TestPowerRMWChainNoImplicitSync: unlike SCC/C11, Power RMWs do not
+// create acquire/release synchronization — MP through an RMW chain with no
+// fences stays observable.
+func TestPowerRMWChainNoImplicitSync(t *testing.T) {
+	p := Power()
+	chain := New("MP+rmw-chain", [][]Op{
+		{W(0), W(1)},
+		{R(1), W(1)},
+		{R(1), R(0)},
+	}, WithRMW(1, 0))
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[2] == 1 && x.RF[4] == 3 && x.ReadValue(5) == 0
+	}
+	expect(t, p, chain, forbidden, true)
+}
+
+// TestPowerPPOCAvsPPOAA distinguishes the cc and ii classes of the ppo
+// fixpoint: PPOCA (control dependency into the intermediate store) is
+// famously observable on Power, while PPOAA (address dependency) is
+// forbidden — the kind of subtlety the paper's §6.2 credits the
+// formalization with capturing.
+func TestPowerPPOCAvsPPOAA(t *testing.T) {
+	p := Power()
+	build := func(dep DepType) *Test {
+		// T0: Wx; sync; Wy || T1: Ry; <dep> Wz; Rz (from own store); addr Rx.
+		return New("PPO?A", [][]Op{
+			{W(0), F(FSync), W(1)},
+			{R(1), W(2), R(2), R(0)},
+		}, WithDep(1, 0, 1, dep), WithDep(1, 2, 3, DepAddr))
+	}
+	// Events: 0:Wx 1:F 2:Wy | 3:Ry 4:Wz 5:Rz 6:Rx.
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[3] == 2 && x.RF[5] == 4 && x.ReadValue(6) == 0
+	}
+	expect(t, p, build(DepCtrl), forbidden, true)  // PPOCA: observable
+	expect(t, p, build(DepAddr), forbidden, false) // PPOAA: forbidden
+}
+
+// TestHSAFenceScopes: scoped SC fences only synchronize compatible pairs.
+func TestHSAFenceScopes(t *testing.T) {
+	h := HSA()
+	build := func(s Scope, groups ...int) *Test {
+		return New("SB+scfences", [][]Op{
+			{W(0), F(FSC).WithScope(s), R(1)},
+			{W(1), F(FSC).WithScope(s), R(0)},
+		}, WithGroups(groups...))
+	}
+	relaxed := func(x *exec.Execution) bool {
+		return x.ReadValue(2) == 0 && x.ReadValue(5) == 0
+	}
+	// System scope across groups: forbidden.
+	expect(t, h, build(ScopeSys, 0, 1), relaxed, false)
+	// Workgroup scope across groups: the sc edge does not apply.
+	expect(t, h, build(ScopeWG, 0, 1), relaxed, true)
+	// Workgroup scope within one group: forbidden.
+	expect(t, h, build(ScopeWG, 0, 0), relaxed, false)
+}
+
+// TestARMv7IsbVariants: ctrl+isb orders reads on ARMv7, plain ctrl does
+// not (mirrors the Power ctrl+isync distinction).
+func TestARMv7IsbVariants(t *testing.T) {
+	arm := ARMv7()
+	base := func(withIsb bool) *Test {
+		if withIsb {
+			return New("MP+dmb+ctrlisb", [][]Op{
+				{W(0), F(FSync), W(1)},
+				{R(1), F(FISync), R(0)},
+			}, WithDep(1, 0, 1, DepCtrl))
+		}
+		return New("MP+dmb+ctrl", [][]Op{
+			{W(0), F(FSync), W(1)},
+			{R(1), R(0)},
+		}, WithDep(1, 0, 1, DepCtrl))
+	}
+	expect(t, arm, base(true), readVals(map[int]int{3: 1, 5: 0}), false)
+	expect(t, arm, base(false), readVals(map[int]int{3: 1, 4: 0}), true)
+}

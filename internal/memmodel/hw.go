@@ -1,0 +1,81 @@
+package memmodel
+
+import (
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/relation"
+)
+
+// SC returns Lamport sequential consistency: a single total order
+// constraint over po and communication, plus RMW atomicity.
+func SC() Model {
+	return &model{
+		name: "sc",
+		axioms: []Axiom{
+			{
+				Name: "rmw_atomicity",
+				Holds: func(v *exec.View) bool {
+					return v.FRE().Join(v.COE()).Intersect(v.RMW()).IsEmpty()
+				},
+			},
+			{
+				Name: "sc_order",
+				Holds: func(v *exec.View) bool {
+					return v.Com().Union(v.PO()).Acyclic()
+				},
+			},
+		},
+		vocab: Vocab{
+			Ops: []litmus.Op{litmus.R(0), litmus.W(0)},
+			RMWOps: [][2]litmus.Op{
+				{litmus.R(0), litmus.W(0)},
+			},
+		},
+		relax: RelaxSpec{DRMW: true},
+	}
+}
+
+// TSO returns the total store ordering model of paper Fig. 4 (the x86/SPARC
+// model), with axioms sc_per_loc, rmw_atomicity, and causality.
+func TSO() Model {
+	return &model{
+		name: "tso",
+		axioms: []Axiom{
+			{
+				Name: "sc_per_loc",
+				Holds: func(v *exec.View) bool {
+					return v.Com().Union(v.POLoc()).Acyclic()
+				},
+			},
+			{
+				Name: "rmw_atomicity",
+				Holds: func(v *exec.View) bool {
+					// no fre.coe & rmw
+					return v.FRE().Join(v.COE()).Intersect(v.RMW()).IsEmpty()
+				},
+			},
+			{
+				Name: "causality",
+				Holds: func(v *exec.View) bool {
+					// acyclic[rfe + co + fr + ppo + fence] with
+					// ppo = po - (Write->Read).
+					n := v.N()
+					wr := relation.Cross(n, v.Writes(), v.Reads())
+					ppo := v.PO().Minus(wr)
+					fence := v.FenceRel(litmus.FMFence)
+					g := v.RFE().Union(v.CO()).Union(v.FR()).Union(ppo).Union(fence)
+					return g.Acyclic()
+				},
+			},
+		},
+		vocab: Vocab{
+			Ops: []litmus.Op{
+				litmus.R(0), litmus.W(0), litmus.F(litmus.FMFence),
+			},
+			RMWOps: [][2]litmus.Op{
+				{litmus.R(0), litmus.W(0)},
+			},
+		},
+		relax: RelaxSpec{DRMW: true},
+	}
+}

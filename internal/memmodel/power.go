@@ -1,0 +1,185 @@
+package memmodel
+
+import (
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/relation"
+)
+
+// powerDerived bundles the expensive intermediate relations of the Power /
+// ARMv7 formulation (Alglave et al. 2014, as used by the paper's Fig. 15).
+type powerDerived struct {
+	ppo    relation.Rel
+	fences relation.Rel
+	ffence relation.Rel
+	hb     relation.Rel
+	prop   relation.Rel
+}
+
+// derivePower computes preserved program order (the fixed point of the four
+// mutually recursive relations ii/ic/ci/cc), the fence relations, hb, and
+// prop. arm selects the ARMv7 variant: no lwsync, and cc0 without po_loc
+// (reflecting the ARMv7 subtleties the formalization leaves out).
+func derivePower(v *exec.View, arm bool) *powerDerived {
+	key := "power"
+	if arm {
+		key = "armv7"
+	}
+	return v.Memo(key, func() any {
+		n := v.N()
+		rr := relation.Cross(n, v.Reads(), v.Reads())
+		rw := relation.Cross(n, v.Reads(), v.Writes())
+		wr := relation.Cross(n, v.Writes(), v.Reads())
+		ww := relation.Cross(n, v.Writes(), v.Writes())
+
+		dp := v.Dep(litmus.DepAddr).Union(v.Dep(litmus.DepData))
+		ctrl := v.Dep(litmus.DepCtrl)
+		addrPo := v.Dep(litmus.DepAddr).Join(v.PO())
+		// ctrl+isync: control dependencies refined through an isync
+		// fence order the read before everything po-after the fence.
+		isync := v.FencesOfKind(litmus.FISync)
+		ctrlisync := ctrl.RestrictRange(isync).Join(v.PO())
+
+		rdw := v.POLoc().Intersect(v.FRE().Join(v.RFE()))
+		detour := v.POLoc().Intersect(v.COE().Join(v.RFE()))
+
+		ii0 := dp.Union(rdw).Union(v.RFI())
+		ci0 := ctrlisync.Union(detour)
+		ic0 := relation.New(n)
+		cc0 := dp.Union(ctrl).Union(addrPo)
+		if !arm {
+			cc0 = cc0.Union(v.POLoc())
+		}
+
+		ii, ic, ci, cc := ii0, ic0, ci0, cc0
+		for {
+			nii := ii0.Union(ci).Union(ic.Join(ci)).Union(ii.Join(ii))
+			nic := ic0.Union(ii).Union(cc).Union(ic.Join(cc)).Union(ii.Join(ic))
+			nci := ci0.Union(ci.Join(ii)).Union(cc.Join(ci))
+			ncc := cc0.Union(ci).Union(ci.Join(ic)).Union(cc.Join(cc))
+			if nii.Equal(ii) && nic.Equal(ic) && nci.Equal(ci) && ncc.Equal(cc) {
+				break
+			}
+			ii, ic, ci, cc = nii, nic, nci, ncc
+		}
+		ppo := rr.Intersect(ii).Union(rw.Intersect(ic))
+
+		ffence := v.FenceRel(litmus.FSync)
+		var fences relation.Rel
+		if arm {
+			fences = ffence
+		} else {
+			lwfence := v.FenceRel(litmus.FLwSync).Minus(wr)
+			fences = lwfence.Union(ffence)
+		}
+
+		hb := ppo.Union(fences).Union(v.RFE())
+		hbRT := hb.ReflexiveClosure()
+
+		propBase := fences.Union(v.RFE().Join(fences)).Join(hbRT)
+		comRT := v.Com().ReflexiveClosure()
+		prop := ww.Intersect(propBase).
+			Union(comRT.Join(propBase.ReflexiveClosure()).Join(ffence).Join(hbRT))
+
+		return &powerDerived{ppo: ppo, fences: fences, ffence: ffence, hb: hb, prop: prop}
+	}).(*powerDerived)
+}
+
+func powerAxioms(arm bool) []Axiom {
+	return []Axiom{
+		{
+			Name: "sc_per_loc",
+			Holds: func(v *exec.View) bool {
+				return v.Com().Union(v.POLoc()).Acyclic()
+			},
+		},
+		{
+			// herding-cats "atomic": a larx/stcx pair succeeds only if no
+			// external write intervenes. Charted separately from the four
+			// axioms of paper Fig. 16, which saturates like TSO's.
+			Name: "rmw_atomicity",
+			Holds: func(v *exec.View) bool {
+				return v.FRE().Join(v.COE()).Intersect(v.RMW()).IsEmpty()
+			},
+		},
+		{
+			Name: "no_thin_air",
+			Holds: func(v *exec.View) bool {
+				return derivePower(v, arm).hb.Acyclic()
+			},
+		},
+		{
+			Name: "observation",
+			Holds: func(v *exec.View) bool {
+				d := derivePower(v, arm)
+				return v.FRE().Join(d.prop).Join(d.hb.ReflexiveClosure()).Irreflexive()
+			},
+		},
+		{
+			Name: "propagation",
+			Holds: func(v *exec.View) bool {
+				d := derivePower(v, arm)
+				return v.CO().Union(d.prop).Acyclic()
+			},
+		},
+	}
+}
+
+// Power returns the Power memory model in the herding-cats formulation the
+// paper uses (Fig. 15): sc_per_loc, no_thin_air, observation, propagation,
+// with ppo computed as the fixed point of four mutually recursive relations
+// and fences split into lightweight (lwsync) and full (sync).
+func Power() Model {
+	return &model{
+		name:   "power",
+		axioms: powerAxioms(false),
+		vocab: Vocab{
+			Ops: []litmus.Op{
+				litmus.R(0), litmus.W(0),
+				litmus.F(litmus.FLwSync), litmus.F(litmus.FSync),
+				litmus.F(litmus.FISync),
+			},
+			RMWOps: [][2]litmus.Op{
+				{litmus.R(0), litmus.W(0)}, // larx/stcx pair
+			},
+			DepTypes: []litmus.DepType{litmus.DepAddr, litmus.DepData, litmus.DepCtrl},
+		},
+		relax: RelaxSpec{
+			DemoteFence: func(e litmus.Event) []litmus.FenceKind {
+				if e.Fence == litmus.FSync {
+					return []litmus.FenceKind{litmus.FLwSync}
+				}
+				// lwsync's weaker sibling (eieio) is not axiomatically
+				// formalized (paper §3.3); removal is covered by RI.
+				return nil
+			},
+			RD:   true,
+			DRMW: true,
+		},
+	}
+}
+
+// ARMv7 returns the ARMv7 memory model: the Power skeleton with dmb as the
+// only fence (mapped onto FSync), isb for control dependencies (FISync),
+// and the ARM cc0 variant. dmb.st is not axiomatically formalized (paper
+// Table 2 footnote), so DF does not apply.
+func ARMv7() Model {
+	return &model{
+		name:   "armv7",
+		axioms: powerAxioms(true),
+		vocab: Vocab{
+			Ops: []litmus.Op{
+				litmus.R(0), litmus.W(0),
+				litmus.F(litmus.FSync), litmus.F(litmus.FISync),
+			},
+			RMWOps: [][2]litmus.Op{
+				{litmus.R(0), litmus.W(0)}, // ldrex/strex pair
+			},
+			DepTypes: []litmus.DepType{litmus.DepAddr, litmus.DepData, litmus.DepCtrl},
+		},
+		relax: RelaxSpec{
+			RD:   true,
+			DRMW: true,
+		},
+	}
+}

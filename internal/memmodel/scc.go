@@ -1,0 +1,181 @@
+package memmodel
+
+import (
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/relation"
+)
+
+// sccSync computes the SCC synchronization relation of paper Fig. 17:
+//
+//	prefix = iden + (Fence <: po) + (Release <: po_loc)
+//	suffix = iden + (po :> Fence) + (po_loc :> Acquire)
+//	sync   = Releasers <: prefix.^(rf+rmw).suffix :> Acquirers
+//
+// where Releasers are release writes and fences, and Acquirers are acquire
+// reads and fences. When scoped is set, sync edges additionally require the
+// endpoints' scopes to mutually cover each other (the HSA-like variant).
+func sccSync(v *exec.View, scoped bool) relation.Rel {
+	n := v.N()
+	fences := v.Fences()
+	releases := v.Where(func(id int) bool {
+		return v.Writes().Has(id) && v.OrderOf(id) == litmus.ORelease
+	})
+	acquires := v.Where(func(id int) bool {
+		return v.Reads().Has(id) && v.OrderOf(id) == litmus.OAcquire
+	})
+	releasers := releases.Union(fences)
+	acquirers := acquires.Union(fences)
+
+	iden := relation.IdentityOn(n, v.Live())
+	prefix := iden.
+		Union(v.PO().RestrictDomain(fences)).
+		Union(v.POLoc().RestrictDomain(releases))
+	suffix := iden.
+		Union(v.PO().RestrictRange(fences)).
+		Union(v.POLoc().RestrictRange(acquires))
+
+	chain := v.RF().Union(v.RMW()).Closure()
+	sync := prefix.Join(chain).Join(suffix).Restrict(releasers, acquirers)
+	if scoped {
+		sync = sync.Intersect(v.ScopeCompatible())
+	}
+	return sync
+}
+
+// sccCause computes cause = *po.(sc + sync).*po, with the sc order possibly
+// reversed (the workaround of paper Fig. 19). For the scoped variant the sc
+// order is additionally restricted to scope-compatible fence pairs.
+func sccCause(v *exec.View, scoped, reverseSC bool) relation.Rel {
+	sc := v.SCRel(reverseSC)
+	if scoped {
+		sc = sc.Intersect(v.ScopeCompatible())
+	}
+	sync := sccSync(v, scoped)
+	poRT := v.PO().ReflexiveClosure()
+	return poRT.Join(sc.Union(sync)).Join(poRT)
+}
+
+func sccCausalityHolds(v *exec.View, scoped, reverseSC bool) bool {
+	cause := sccCause(v, scoped, reverseSC)
+	comRT := v.Com().ReflexiveClosure()
+	return comRT.Join(cause.Closure()).Irreflexive()
+}
+
+func sccAxioms(scoped bool) []Axiom {
+	return []Axiom{
+		{
+			Name: "sc_per_loc",
+			Holds: func(v *exec.View) bool {
+				return v.Com().Union(v.POLoc()).Acyclic()
+			},
+		},
+		{
+			Name: "no_thin_air",
+			Holds: func(v *exec.View) bool {
+				return v.RF().Union(v.DepAll()).Acyclic()
+			},
+		},
+		{
+			Name: "rmw_atomicity",
+			Holds: func(v *exec.View) bool {
+				// no fr.co & rmw (Fig. 17).
+				return v.FR().Join(v.CO()).Intersect(v.RMW()).IsEmpty()
+			},
+		},
+		{
+			// The sc order this axiom consults is auxiliary; package
+			// minimal quantifies over all sc orders (the general form of
+			// the paper's Fig. 19 lone-edge workaround).
+			Name: "causality",
+			Holds: func(v *exec.View) bool {
+				return sccCausalityHolds(v, scoped, false)
+			},
+		},
+	}
+}
+
+// SCC returns the Streamlined Causal Consistency model the paper introduces
+// (§6.3, Fig. 17): acquire/release instructions, acquire-release and
+// sequentially-consistent fences (the latter totally ordered by sc), one
+// generic dependency flavor, and no preserved-program-order machinery.
+func SCC() Model {
+	return &model{
+		name:   "scc",
+		axioms: sccAxioms(false),
+		vocab: Vocab{
+			Ops: []litmus.Op{
+				litmus.R(0), litmus.Racq(0),
+				litmus.W(0), litmus.Wrel(0),
+				litmus.F(litmus.FAcqRel), litmus.F(litmus.FSC),
+			},
+			RMWOps: [][2]litmus.Op{
+				{litmus.R(0), litmus.W(0)},
+				{litmus.Racq(0), litmus.Wrel(0)},
+			},
+			DepTypes: []litmus.DepType{litmus.DepData},
+			UsesSC:   true,
+		},
+		relax: RelaxSpec{
+			DemoteOrder: sccDemoteOrder,
+			DemoteFence: sccDemoteFence,
+			RD:          true, // dependencies feed the no-thin-air axiom only
+			DRMW:        true,
+		},
+	}
+}
+
+func sccDemoteOrder(e litmus.Event) []litmus.Order {
+	switch e.Order {
+	case litmus.OAcquire, litmus.ORelease:
+		return []litmus.Order{litmus.OPlain}
+	}
+	return nil
+}
+
+func sccDemoteFence(e litmus.Event) []litmus.FenceKind {
+	if e.Fence == litmus.FSC {
+		return []litmus.FenceKind{litmus.FAcqRel}
+	}
+	return nil
+}
+
+// HSA returns the scoped variant of SCC standing in for the HSA/OpenCL
+// scoped models of paper Table 2: synchronizing instructions carry a scope
+// (workgroup or system), synchronization requires mutually inclusive
+// scopes, and the Demote Scope relaxation applies. Plain loads and stores
+// are unscoped, as in HSA.
+func HSA() Model {
+	wg, sys := litmus.ScopeWG, litmus.ScopeSys
+	return &model{
+		name:   "hsa",
+		axioms: sccAxioms(true),
+		vocab: Vocab{
+			Ops: []litmus.Op{
+				litmus.R(0), litmus.W(0),
+				litmus.Racq(0).WithScope(wg), litmus.Racq(0).WithScope(sys),
+				litmus.Wrel(0).WithScope(wg), litmus.Wrel(0).WithScope(sys),
+				litmus.F(litmus.FAcqRel).WithScope(wg), litmus.F(litmus.FAcqRel).WithScope(sys),
+				litmus.F(litmus.FSC).WithScope(wg), litmus.F(litmus.FSC).WithScope(sys),
+			},
+			RMWOps: [][2]litmus.Op{
+				{litmus.R(0), litmus.W(0)},
+			},
+			DepTypes: []litmus.DepType{litmus.DepData},
+			Scopes:   []litmus.Scope{wg, sys},
+			UsesSC:   true,
+		},
+		relax: RelaxSpec{
+			DemoteOrder: sccDemoteOrder,
+			DemoteFence: sccDemoteFence,
+			DemoteScope: func(e litmus.Event) []litmus.Scope {
+				if e.Scope == sys {
+					return []litmus.Scope{wg}
+				}
+				return nil
+			},
+			RD:   true,
+			DRMW: true,
+		},
+	}
+}

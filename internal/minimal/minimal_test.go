@@ -1,0 +1,314 @@
+package minimal
+
+import (
+	"testing"
+
+	"memsynth/internal/exec"
+	. "memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+)
+
+// findExecution returns the first execution of t matching pred.
+func findExecution(t *Test, pred func(*exec.Execution) bool) *exec.Execution {
+	var found *exec.Execution
+	exec.Enumerate(t, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+		if pred(x) {
+			found = x.Clone()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func mustFind(t *testing.T, lt *Test, pred func(*exec.Execution) bool) *exec.Execution {
+	t.Helper()
+	x := findExecution(lt, pred)
+	if x == nil {
+		t.Fatalf("%s: no execution matches predicate", lt.Name)
+	}
+	return x
+}
+
+func checkMinimal(t *testing.T, m memmodel.Model, axiom string, x *exec.Execution, want bool) {
+	t.Helper()
+	got, err := IsMinimal(m, axiom, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		verdict := Check(m, memmodel.Applications(m, x.Test), x)
+		t.Errorf("%s / %s under %s/%s: minimal=%v, want %v (violated=%v, failing=%v)",
+			x.Test.Name, x.OutcomeString(), m.Name(), axiom, got, want,
+			verdict.ViolatedAxioms, verdict.FailingRelaxation)
+	}
+}
+
+// TestMPWalkthrough reproduces the paper's §3.1 walkthrough (Fig. 3): MP
+// with one release and one acquire satisfies the minimality criterion for
+// SCC causality; the over-synchronized variant of Fig. 2 does not.
+func TestMPWalkthrough(t *testing.T) {
+	scc := memmodel.SCC()
+
+	mp := New("MP", [][]Op{
+		{W(0), Wrel(1)},
+		{Racq(1), R(0)},
+	})
+	forbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(2) == 1 && x.ReadValue(3) == 0
+	}
+	checkMinimal(t, scc, "causality", mustFind(t, mp, forbidden), true)
+
+	over := New("MP+extra", [][]Op{
+		{Wrel(0), Wrel(1)},
+		{Racq(1), Racq(0)},
+	})
+	checkMinimal(t, scc, "causality", mustFind(t, over, forbidden), false)
+	// The failing relaxation must be a DMO on one of the extraneous
+	// annotations (demoting either leaves the outcome forbidden).
+	verdict := Check(scc, memmodel.Applications(scc, over), mustFind(t, over, forbidden))
+	if verdict.AllRelaxationsObservable {
+		t.Fatal("over-synchronized MP reported fully relaxable")
+	}
+	if verdict.FailingRelaxation.Kind != exec.PDMO {
+		t.Errorf("failing relaxation = %v, want a DMO", verdict.FailingRelaxation)
+	}
+}
+
+// TestCoRW reproduces paper Fig. 7: outcome (r=2, [x]=2) of CoRW is minimal
+// under any coherent model — crucially, RI on the store the load reads from
+// leaves the load unconstrained rather than re-sourcing it (paper §4.3).
+func TestCoRW(t *testing.T) {
+	// T0: Ld x; St x(1). T1: St x(2). Events 0:Ld 1:St 2:St.
+	corw := New("CoRW", [][]Op{
+		{R(0), W(0)},
+		{W(0)},
+	})
+	// r=2: load reads T1's store; [x]=2: T1's store co-last — but the
+	// load is po_loc-before its own store, so rf(2->0) plus co(1 then 2)
+	// cycles: 2 rf 0, 0 po_loc 1, 1 co 2.
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[0] == 2 && x.CO[0][0] == 1 && x.CO[0][1] == 2
+	}
+	tso := memmodel.TSO()
+	checkMinimal(t, tso, "sc_per_loc", mustFind(t, corw, forbidden), true)
+}
+
+// TestN5NotMinimal reproduces paper Fig. 10: n5/coLB is in the Owens suite
+// but is not minimal — it contains CoRW as a subtest, and RI on thread 0's
+// load leaves the violation in place.
+func TestN5NotMinimal(t *testing.T) {
+	// T0: Wx(1); Rx || T1: Wx(2); Rx. Events 0:W 1:R 2:W 3:R.
+	n5 := New("n5", [][]Op{
+		{W(0), R(0)},
+		{W(0), R(0)},
+	})
+	// Forbidden outcome r0=2, r1=1 with, say, co = [0, 2]: thread 0 reads
+	// the other write past its own (fr cycle on both threads).
+	forbidden := func(x *exec.Execution) bool {
+		return x.RF[1] == 2 && x.RF[3] == 0 && x.CO[0][0] == 0
+	}
+	tso := memmodel.TSO()
+	x := mustFind(t, n5, forbidden)
+	checkMinimal(t, tso, "sc_per_loc", x, false)
+}
+
+// TestSBWithSCFences reproduces paper Fig. 18: SB with two SC fences is
+// minimal for SCC causality. Under the naive fixed-sc reading it would be a
+// false negative; quantifying over sc orders (the generalization of
+// Fig. 19) must accept it.
+func TestSBWithSCFences(t *testing.T) {
+	scc := memmodel.SCC()
+	sb := New("SB+scfences", [][]Op{
+		{W(0), F(FSC), R(1)},
+		{W(1), F(FSC), R(0)},
+	})
+	forbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(2) == 0 && x.ReadValue(5) == 0
+	}
+	checkMinimal(t, scc, "causality", mustFind(t, sb, forbidden), true)
+}
+
+// TestSCCFenceDemotions checks DF-driven minimality: SB with one SC fence
+// and one acq-rel fence is not minimal (the acq-rel fence is dead weight),
+// and MP with SC fences is not minimal either (acq-rel fences suffice).
+func TestSCCFenceDemotions(t *testing.T) {
+	scc := memmodel.SCC()
+	mpSC := New("MP+scfences", [][]Op{
+		{W(0), F(FSC), W(1)},
+		{R(1), F(FSC), R(0)},
+	})
+	forbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(3) == 1 && x.ReadValue(5) == 0
+	}
+	x := mustFind(t, mpSC, forbidden)
+	checkMinimal(t, scc, "causality", x, false)
+	verdict := Check(scc, memmodel.Applications(scc, mpSC), x)
+	if verdict.FailingRelaxation.Kind != exec.PDF {
+		t.Errorf("failing relaxation = %v, want DF", verdict.FailingRelaxation)
+	}
+
+	mpAR := New("MP+arfences", [][]Op{
+		{W(0), F(FAcqRel), W(1)},
+		{R(1), F(FAcqRel), R(0)},
+	})
+	checkMinimal(t, scc, "causality", mustFind(t, mpAR, forbidden), true)
+}
+
+// TestPowerPPOAA reproduces the paper's §6.2 observation about the
+// Cambridge suite: the PPOAA pattern presented with a full sync is not
+// minimal, because a lightweight lwsync suffices; the lwsync variant is
+// minimal.
+func TestPowerPPOAA(t *testing.T) {
+	p := memmodel.Power()
+	build := func(fence FenceKind) *Test {
+		// MP with a writer-side fence and a reader-side address
+		// dependency.
+		return New("PPOAA", [][]Op{
+			{W(0), F(fence), W(1)},
+			{R(1), R(0)},
+		}, WithDep(1, 0, 1, DepAddr))
+	}
+	forbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(3) == 1 && x.ReadValue(4) == 0
+	}
+
+	sync := mustFind(t, build(FSync), forbidden)
+	checkMinimal(t, p, "observation", sync, false)
+	verdict := Check(p, memmodel.Applications(p, sync.Test), sync)
+	if verdict.AllRelaxationsObservable || verdict.FailingRelaxation.Kind != exec.PDF {
+		t.Errorf("sync variant: failing relaxation = %v, want DF(sync->lwsync)", verdict.FailingRelaxation)
+	}
+
+	lw := mustFind(t, build(FLwSync), forbidden)
+	checkMinimal(t, p, "observation", lw, true)
+}
+
+// TestPowerRDMinimality: MP+lwsync+addr is minimal only because removing
+// the dependency (RD) re-enables the outcome.
+func TestPowerRDMinimality(t *testing.T) {
+	p := memmodel.Power()
+	lbDatas := New("LB+datas", [][]Op{
+		{R(0), W(1)},
+		{R(1), W(0)},
+	}, WithDep(0, 0, 1, DepData), WithDep(1, 0, 1, DepData))
+	forbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(0) == 1 && x.ReadValue(2) == 1
+	}
+	checkMinimal(t, p, "no_thin_air", mustFind(t, lbDatas, forbidden), true)
+
+	// With an extra redundant dependency the test stops being minimal?
+	// A control dependency in addition to the data dependency on thread 0:
+	// removing deps via RD removes both at once (RD discards all deps from
+	// the instruction), so the test remains minimal-with-respect-to RD but
+	// the *control* dependency cannot be separately removed. The paper
+	// defines RD per instruction, so this stays minimal.
+	lbExtra := New("LB+datas+ctrl", [][]Op{
+		{R(0), W(1)},
+		{R(1), W(0)},
+	}, WithDep(0, 0, 1, DepData), WithDep(0, 0, 1, DepCtrl), WithDep(1, 0, 1, DepData))
+	x := findExecution(lbExtra, forbidden)
+	if x == nil {
+		t.Fatal("no execution")
+	}
+	got, err := IsMinimal(p, "no_thin_air", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		// Not an error in the paper's semantics, but document behavior.
+		t.Log("LB+datas+ctrl not minimal (redundant dep detected)")
+	}
+}
+
+// TestHSAScopedMinimality exercises Demote Scope: cross-group MP with
+// system-scope synchronization is minimal (narrowing any scope breaks the
+// synchronization), while the same test with both threads in one group is
+// not (workgroup scope would suffice, so DS leaves the outcome forbidden).
+func TestHSAScopedMinimality(t *testing.T) {
+	h := memmodel.HSA()
+	sys := ScopeSys
+	build := func(groups ...int) *Test {
+		return New("MP+ra@sys", [][]Op{
+			{W(0), Wrel(1).WithScope(sys)},
+			{Racq(1).WithScope(sys), R(0)},
+		}, WithGroups(groups...))
+	}
+	forbidden := func(x *exec.Execution) bool {
+		return x.ReadValue(2) == 1 && x.ReadValue(3) == 0
+	}
+
+	cross := mustFind(t, build(0, 1), forbidden)
+	checkMinimal(t, h, "causality", cross, true)
+
+	same := mustFind(t, build(0, 0), forbidden)
+	checkMinimal(t, h, "causality", same, false)
+	verdict := Check(h, memmodel.Applications(h, same.Test), same)
+	if verdict.AllRelaxationsObservable || verdict.FailingRelaxation.Kind != exec.PDS {
+		t.Errorf("same-group: failing relaxation = %v, want DS", verdict.FailingRelaxation)
+	}
+
+	// Workgroup scope in a shared group is minimal (no narrower scope
+	// exists to demote to).
+	wg := ScopeWG
+	sameWG := New("MP+ra@wg", [][]Op{
+		{W(0), Wrel(1).WithScope(wg)},
+		{Racq(1).WithScope(wg), R(0)},
+	}, WithGroups(0, 0))
+	checkMinimal(t, h, "causality", mustFind(t, sameWG, forbidden), true)
+}
+
+// TestDRMWMinimality: the TSO atomicity test is minimal only because
+// decomposing the RMW makes the interleaving legal.
+func TestDRMWMinimality(t *testing.T) {
+	tso := memmodel.TSO()
+	rmw := New("RMW+W", [][]Op{
+		{R(0), W(0)},
+		{W(0)},
+	}, WithRMW(0, 0))
+	violating := func(x *exec.Execution) bool {
+		return x.ReadValue(0) == 0 && x.CO[0][0] == 2 && x.CO[0][1] == 1
+	}
+	checkMinimal(t, tso, "rmw_atomicity", mustFind(t, rmw, violating), true)
+}
+
+// TestValidExecutionNotMinimal: executions that violate nothing are never
+// minimal.
+func TestValidExecutionNotMinimal(t *testing.T) {
+	tso := memmodel.TSO()
+	mp := New("MP", [][]Op{{W(0), W(1)}, {R(1), R(0)}})
+	ok := func(x *exec.Execution) bool {
+		return x.ReadValue(2) == 1 && x.ReadValue(3) == 1
+	}
+	x := mustFind(t, mp, ok)
+	verdict := Check(tso, memmodel.Applications(tso, mp), x)
+	if len(verdict.ViolatedAxioms) != 0 {
+		t.Errorf("valid execution reports violations: %v", verdict.ViolatedAxioms)
+	}
+	if len(verdict.MinimalFor()) != 0 {
+		t.Error("valid execution reported minimal")
+	}
+}
+
+func TestIsMinimalUnknownAxiom(t *testing.T) {
+	tso := memmodel.TSO()
+	mp := New("MP", [][]Op{{W(0), W(1)}, {R(1), R(0)}})
+	x := mustFind(t, mp, func(*exec.Execution) bool { return true })
+	if _, err := IsMinimal(tso, "nope", x); err == nil {
+		t.Error("expected error for unknown axiom")
+	}
+}
+
+func TestSCOrdersRestored(t *testing.T) {
+	scc := memmodel.SCC()
+	sb := New("SB+scfences", [][]Op{
+		{W(0), F(FSC), R(1)},
+		{W(1), F(FSC), R(0)},
+	})
+	x := mustFind(t, sb, func(*exec.Execution) bool { return true })
+	x.SC = nil
+	Check(scc, memmodel.Applications(scc, sb), x)
+	if x.SC != nil {
+		t.Error("Check did not restore x.SC")
+	}
+}

@@ -1,0 +1,138 @@
+package randgen
+
+import (
+	"testing"
+
+	"memsynth/internal/canon"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/minimal"
+	"memsynth/internal/synth"
+)
+
+func TestGeneratedTestsAreValid(t *testing.T) {
+	for _, m := range memmodel.All() {
+		g := New(m, Options{}, 42)
+		for i := 0; i < 200; i++ {
+			lt := g.Test()
+			if err := lt.Validate(); err != nil {
+				t.Fatalf("%s: invalid random test: %v\n%v", m.Name(), err, lt)
+			}
+			if lt.NumEvents() < 2 || lt.NumEvents() > 6 {
+				t.Fatalf("%s: size %d out of bounds", m.Name(), lt.NumEvents())
+			}
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	tso := memmodel.TSO()
+	a, b := New(tso, Options{}, 7), New(tso, Options{}, 7)
+	for i := 0; i < 50; i++ {
+		if canon.ProgramKey(a.Test()) != canon.ProgramKey(b.Test()) {
+			t.Fatal("same seed, different tests")
+		}
+	}
+	c := New(tso, Options{}, 8)
+	same := 0
+	a = New(tso, Options{}, 7)
+	for i := 0; i < 50; i++ {
+		if canon.ProgramKey(a.Test()) == canon.ProgramKey(c.Test()) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestForbiddenWitness(t *testing.T) {
+	tso := memmodel.TSO()
+	g := New(tso, Options{}, 3)
+	foundForbidden, foundAllowed := false, false
+	for i := 0; i < 300 && !(foundForbidden && foundAllowed); i++ {
+		lt := g.Test()
+		if w := ForbiddenWitness(tso, lt); w != nil {
+			foundForbidden = true
+			if w.Test != lt {
+				t.Fatal("witness detached from test")
+			}
+		} else {
+			foundAllowed = true
+		}
+	}
+	if !foundForbidden {
+		t.Error("no random test had a forbidden outcome")
+	}
+	if !foundAllowed {
+		t.Error("every random test had a forbidden outcome (suspicious)")
+	}
+}
+
+// TestRandomCoverageVsSynthesis is the §2.1 comparison: random generation
+// covers the synthesized minimal patterns slowly and with heavy redundancy.
+func TestRandomCoverageVsSynthesis(t *testing.T) {
+	tso := memmodel.TSO()
+	res := synth.Synthesize(tso, synth.Options{MaxEvents: 4})
+	target := map[string]bool{}
+	for _, e := range res.Union.Entries {
+		target[e.Key] = true
+	}
+
+	g := New(tso, Options{MaxEvents: 4}, 99)
+	covered := map[string]bool{}
+	redundant, productive := 0, 0
+	const budget = 2000
+	for i := 0; i < budget; i++ {
+		lt := g.Test()
+		w := ForbiddenWitness(tso, lt)
+		if w == nil {
+			redundant++ // nothing forbidden: useless for conformance
+			continue
+		}
+		verdict := minimal.Check(tso, memmodel.Applications(tso, lt), w)
+		if len(verdict.MinimalFor()) == 0 {
+			redundant++
+			continue
+		}
+		key := canon.Key(w)
+		if target[key] && !covered[key] {
+			covered[key] = true
+			productive++
+		} else {
+			redundant++
+		}
+	}
+	t.Logf("random: %d tests -> %d/%d minimal patterns covered, %d redundant",
+		budget, len(covered), len(target), redundant)
+	if len(covered) == len(target) {
+		t.Log("random generation covered everything (unexpectedly lucky)")
+	}
+	if len(covered) == 0 {
+		t.Error("random generation covered no minimal pattern")
+	}
+	if redundant < productive {
+		t.Error("random generation unexpectedly efficient — check the comparison")
+	}
+}
+
+func TestScopedRandomTests(t *testing.T) {
+	hsa := memmodel.HSA()
+	g := New(hsa, Options{}, 11)
+	sawGroups := false
+	for i := 0; i < 100; i++ {
+		lt := g.Test()
+		if err := lt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if lt.Groups != nil && lt.NumThreads() > 1 {
+			for th := 1; th < lt.NumThreads(); th++ {
+				if lt.GroupOf(th) != lt.GroupOf(0) {
+					sawGroups = true
+				}
+			}
+		}
+	}
+	if !sawGroups {
+		t.Error("no multi-group random test generated")
+	}
+}

@@ -1,0 +1,79 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// DOT renders an execution as a Graphviz graph in the herd tradition:
+// events clustered by thread, program order as vertical edges, and the
+// communication relations (rf, co, fr) plus dependencies as labeled
+// colored edges — the picture memory-model papers draw for each litmus
+// test.
+func DOT(x *exec.Execution) string {
+	t := x.Test
+	v := exec.NewView(x, exec.NoPerturb)
+	var b strings.Builder
+
+	name := t.Name
+	if name == "" {
+		name = "execution"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  splines=true;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	for th := 0; th < t.NumThreads(); th++ {
+		fmt.Fprintf(&b, "  subgraph cluster_T%d {\n    label=\"T%d\";\n", th, th)
+		ids := t.Thread(th)
+		for _, id := range ids {
+			e := t.Events[id]
+			label := litmus.EventString(e)
+			switch e.Kind {
+			case litmus.KRead:
+				label += fmt.Sprintf(" = %d", x.ReadValue(id))
+			case litmus.KWrite:
+				label += fmt.Sprintf(" := %d", x.WriteValue(id))
+			}
+			fmt.Fprintf(&b, "    e%d [label=\"e%d: %s\"];\n", id, id, label)
+		}
+		// Program order: adjacent pairs only (po is transitive; the
+		// drawing shows the skeleton, as the paper's footnote 3 prefers).
+		for i := 0; i+1 < len(ids); i++ {
+			fmt.Fprintf(&b, "    e%d -> e%d [color=gray, label=\"po\"];\n", ids[i], ids[i+1])
+		}
+		b.WriteString("  }\n")
+	}
+
+	edge := func(from, to int, label, color string) {
+		fmt.Fprintf(&b, "  e%d -> e%d [color=%s, label=%q, fontcolor=%s];\n",
+			from, to, color, label, color)
+	}
+	for _, p := range v.RF().Pairs() {
+		edge(p[0], p[1], "rf", "red")
+	}
+	// co skeleton: adjacent pairs per address.
+	for _, ws := range x.CO {
+		for i := 0; i+1 < len(ws); i++ {
+			edge(ws[i], ws[i+1], "co", "blue")
+		}
+	}
+	for _, p := range v.FR().Pairs() {
+		edge(p[0], p[1], "fr", "darkorange")
+	}
+	for _, d := range t.Deps {
+		edge(d.From, d.To, d.Type.String(), "darkgreen")
+	}
+	for _, p := range t.RMW {
+		edge(p[0], p[1], "rmw", "purple")
+	}
+	if x.SC != nil {
+		for i := 0; i+1 < len(x.SC); i++ {
+			edge(x.SC[i], x.SC[i+1], "sc", "brown")
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+func TestDOTMP(t *testing.T) {
+	w := mpWitness()
+	s := DOT(w)
+	for _, want := range []string{
+		`digraph "MP"`,
+		"subgraph cluster_T0", "subgraph cluster_T1",
+		`label="e0: St x := 1"`,
+		`label="e2: Ld y = 1"`,
+		`label="e3: Ld x = 0"`,
+		`e1 -> e2 [color=red, label="rf"`,
+		`e3 -> e0 [color=darkorange, label="fr"`,
+		`e0 -> e1 [color=gray, label="po"]`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDOTCoAndDeps(t *testing.T) {
+	lt := litmus.New("S+dep", [][]litmus.Op{
+		{litmus.W(0), litmus.W(0)},
+		{litmus.R(0), litmus.W(0)},
+	}, litmus.WithDep(1, 0, 1, litmus.DepData), litmus.WithRMW(1, 0))
+	x := &exec.Execution{
+		Test: lt,
+		RF:   []int{-1, -1, 1, -1},
+		CO:   [][]int{{0, 1, 3}},
+	}
+	s := DOT(x)
+	for _, want := range []string{
+		`e0 -> e1 [color=blue, label="co"`,
+		`e1 -> e3 [color=blue, label="co"`,
+		`e2 -> e3 [color=darkgreen, label="data"`,
+		`e2 -> e3 [color=purple, label="rmw"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q:\n%s", want, s)
+		}
+	}
+	// co skeleton: no transitive e0 -> e3 co edge.
+	if strings.Contains(s, `e0 -> e3 [color=blue`) {
+		t.Error("DOT draws transitive co edge")
+	}
+}
+
+func TestDOTSCOrder(t *testing.T) {
+	lt := litmus.New("SB+sc", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FSC), litmus.R(1)},
+		{litmus.W(1), litmus.F(litmus.FSC), litmus.R(0)},
+	})
+	x := &exec.Execution{
+		Test: lt,
+		RF:   []int{-1, -1, -1, -1, -1, -1},
+		CO:   [][]int{{0}, {3}},
+		SC:   []int{4, 1},
+	}
+	s := DOT(x)
+	if !strings.Contains(s, `e4 -> e1 [color=brown, label="sc"`) {
+		t.Errorf("DOT missing sc edge:\n%s", s)
+	}
+}

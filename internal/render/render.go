@@ -1,0 +1,374 @@
+// Package render turns litmus tests into per-architecture assembly-style
+// listings and C11 source — the concrete artifacts a synthesized suite
+// ships to "any existing testing infrastructure" (paper §1): litmus-tool
+// style assembly for x86/Power/ARM targets and C/C++ sources with
+// atomic_*_explicit calls for language-level models.
+//
+// Rendering is presentation only: registers are assigned per thread in
+// order of use, write values follow the coherence positions of the
+// forbidden-outcome witness (or program order when no witness is given),
+// and the exists-clause prints the forbidden outcome in hardware-litmus
+// convention.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// Target selects the output dialect.
+type Target uint8
+
+const (
+	// X86 renders MOV/MFENCE/XCHG-style listings.
+	X86 Target = iota
+	// Power renders ld/std/lwsync/sync/isync listings.
+	Power
+	// ARM renders ldr/str/ldar/stlr/dmb/isb listings.
+	ARM
+	// C11 renders atomic_load_explicit / atomic_store_explicit source.
+	C11
+)
+
+func (t Target) String() string {
+	switch t {
+	case X86:
+		return "x86"
+	case Power:
+		return "power"
+	case ARM:
+		return "arm"
+	case C11:
+		return "c11"
+	}
+	return fmt.Sprintf("Target(%d)", uint8(t))
+}
+
+// Render produces the listing for test t. The optional witness fixes
+// concrete store values and the exists-clause; with a nil witness, stores
+// are numbered in program order and no exists-clause is printed.
+func Render(target Target, t *litmus.Test, witness *exec.Execution) (string, error) {
+	r := &renderer{target: target, test: t, witness: witness}
+	return r.render()
+}
+
+type renderer struct {
+	target  Target
+	test    *litmus.Test
+	witness *exec.Execution
+}
+
+// writeValue returns the concrete value a store writes.
+func (r *renderer) writeValue(id int) int {
+	if r.witness != nil {
+		return r.witness.WriteValue(id)
+	}
+	// Program-order numbering per address.
+	v := 1
+	for _, e := range r.test.Events {
+		if e.ID == id {
+			break
+		}
+		if e.Kind == litmus.KWrite && e.Addr == r.test.Events[id].Addr {
+			v++
+		}
+	}
+	return v
+}
+
+func (r *renderer) render() (string, error) {
+	var b strings.Builder
+	name := r.test.Name
+	if name == "" {
+		name = "test"
+	}
+	fmt.Fprintf(&b, "%s %q\n", r.dialectHeader(), name)
+	fmt.Fprintf(&b, "{ %s }\n", r.initClause())
+
+	regCounter := 0
+	regOf := map[int]string{} // read event -> register
+	var cols [][]string
+	for th := 0; th < r.test.NumThreads(); th++ {
+		var lines []string
+		lines = append(lines, fmt.Sprintf("P%d:", th))
+		for _, id := range r.test.Thread(th) {
+			line, err := r.instruction(id, &regCounter, regOf)
+			if err != nil {
+				return "", err
+			}
+			lines = append(lines, "  "+line)
+		}
+		cols = append(cols, lines)
+	}
+	for _, col := range cols {
+		for _, l := range col {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	if r.witness != nil {
+		fmt.Fprintf(&b, "exists (%s)\n", r.existsClause(regOf))
+	}
+	return b.String(), nil
+}
+
+func (r *renderer) dialectHeader() string {
+	switch r.target {
+	case X86:
+		return "X86"
+	case Power:
+		return "PPC"
+	case ARM:
+		return "ARM"
+	case C11:
+		return "C"
+	}
+	return "?"
+}
+
+func (r *renderer) initClause() string {
+	var parts []string
+	for a := 0; a < r.test.NumAddrs(); a++ {
+		parts = append(parts, fmt.Sprintf("%s=0", litmus.AddrName(a)))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (r *renderer) instruction(id int, regCounter *int, regOf map[int]string) (string, error) {
+	e := r.test.Events[id]
+	switch r.target {
+	case X86:
+		return r.x86Instruction(e, regCounter, regOf)
+	case Power:
+		return r.powerInstruction(e, regCounter, regOf)
+	case ARM:
+		return r.armInstruction(e, regCounter, regOf)
+	case C11:
+		return r.c11Instruction(e, regCounter, regOf)
+	}
+	return "", fmt.Errorf("render: unknown target %v", r.target)
+}
+
+func (r *renderer) newReg(id int, regCounter *int, regOf map[int]string, prefix string) string {
+	reg := fmt.Sprintf("%s%d", prefix, *regCounter)
+	*regCounter++
+	regOf[id] = reg
+	return reg
+}
+
+// --- x86 ---
+
+func (r *renderer) x86Instruction(e litmus.Event, regCounter *int, regOf map[int]string) (string, error) {
+	switch e.Kind {
+	case litmus.KFence:
+		if e.Fence != litmus.FMFence {
+			return "", fmt.Errorf("render: x86 has no fence %v", e.Fence)
+		}
+		return "MFENCE", nil
+	case litmus.KRead:
+		if e.Order != litmus.OPlain {
+			return "", fmt.Errorf("render: x86 loads are plain, got %v", e.Order)
+		}
+		if w, ok := r.test.RMWPartner(e.ID); ok {
+			// Render the pair's read as the XCHG (the write part is
+			// rendered as a comment continuation).
+			reg := r.newReg(e.ID, regCounter, regOf, "EAX+")
+			_ = w
+			return fmt.Sprintf("XCHG [%s], %s", litmus.AddrName(e.Addr), reg), nil
+		}
+		reg := r.newReg(e.ID, regCounter, regOf, "EAX+")
+		return fmt.Sprintf("MOV %s, [%s]", reg, litmus.AddrName(e.Addr)), nil
+	case litmus.KWrite:
+		if _, ok := r.test.RMWPartner(e.ID); ok {
+			return fmt.Sprintf("; store half of XCHG [%s] (value %d)",
+				litmus.AddrName(e.Addr), r.writeValue(e.ID)), nil
+		}
+		return fmt.Sprintf("MOV [%s], %d", litmus.AddrName(e.Addr), r.writeValue(e.ID)), nil
+	}
+	return "", fmt.Errorf("render: unknown kind %v", e.Kind)
+}
+
+// --- Power ---
+
+func (r *renderer) powerInstruction(e litmus.Event, regCounter *int, regOf map[int]string) (string, error) {
+	switch e.Kind {
+	case litmus.KFence:
+		switch e.Fence {
+		case litmus.FSync:
+			return "sync", nil
+		case litmus.FLwSync:
+			return "lwsync", nil
+		case litmus.FISync:
+			return "isync", nil
+		}
+		return "", fmt.Errorf("render: Power has no fence %v", e.Fence)
+	case litmus.KRead:
+		reg := r.newReg(e.ID, regCounter, regOf, "r")
+		if _, ok := r.test.RMWPartner(e.ID); ok {
+			return fmt.Sprintf("lwarx %s, 0, %s", reg, litmus.AddrName(e.Addr)), nil
+		}
+		return fmt.Sprintf("lwz %s, 0(%s)%s", reg, litmus.AddrName(e.Addr), r.depComment(e.ID)), nil
+	case litmus.KWrite:
+		if _, ok := r.test.RMWPartner(e.ID); ok {
+			return fmt.Sprintf("stwcx. %d, 0, %s", r.writeValue(e.ID), litmus.AddrName(e.Addr)), nil
+		}
+		return fmt.Sprintf("stw %d, 0(%s)%s", r.writeValue(e.ID), litmus.AddrName(e.Addr), r.depComment(e.ID)), nil
+	}
+	return "", fmt.Errorf("render: unknown kind %v", e.Kind)
+}
+
+// --- ARM ---
+
+func (r *renderer) armInstruction(e litmus.Event, regCounter *int, regOf map[int]string) (string, error) {
+	switch e.Kind {
+	case litmus.KFence:
+		switch e.Fence {
+		case litmus.FSync:
+			return "dmb sy", nil
+		case litmus.FISync:
+			return "isb", nil
+		}
+		return "", fmt.Errorf("render: ARM has no fence %v", e.Fence)
+	case litmus.KRead:
+		reg := r.newReg(e.ID, regCounter, regOf, "X")
+		mnemonic := "ldr"
+		if e.Order == litmus.OAcquire {
+			mnemonic = "ldar"
+		}
+		if _, ok := r.test.RMWPartner(e.ID); ok {
+			mnemonic = "ldxr"
+		}
+		return fmt.Sprintf("%s %s, [%s]%s", mnemonic, reg, litmus.AddrName(e.Addr), r.depComment(e.ID)), nil
+	case litmus.KWrite:
+		mnemonic := "str"
+		if e.Order == litmus.ORelease {
+			mnemonic = "stlr"
+		}
+		if _, ok := r.test.RMWPartner(e.ID); ok {
+			mnemonic = "stxr"
+		}
+		return fmt.Sprintf("%s #%d, [%s]%s", mnemonic, r.writeValue(e.ID), litmus.AddrName(e.Addr), r.depComment(e.ID)), nil
+	}
+	return "", fmt.Errorf("render: unknown kind %v", e.Kind)
+}
+
+// --- C11 ---
+
+func (r *renderer) c11Instruction(e litmus.Event, regCounter *int, regOf map[int]string) (string, error) {
+	switch e.Kind {
+	case litmus.KFence:
+		var order string
+		switch e.Fence {
+		case litmus.FSC:
+			order = "memory_order_seq_cst"
+		case litmus.FAcqRel:
+			order = "memory_order_acq_rel"
+		case litmus.FAcq:
+			order = "memory_order_acquire"
+		case litmus.FRel:
+			order = "memory_order_release"
+		default:
+			return "", fmt.Errorf("render: C11 has no fence %v", e.Fence)
+		}
+		return fmt.Sprintf("atomic_thread_fence(%s);", order), nil
+	case litmus.KRead:
+		order, err := c11Order(e.Order, true)
+		if err != nil {
+			return "", err
+		}
+		reg := r.newReg(e.ID, regCounter, regOf, "r")
+		return fmt.Sprintf("int %s = atomic_load_explicit(&%s, %s);",
+			reg, litmus.AddrName(e.Addr), order), nil
+	case litmus.KWrite:
+		order, err := c11Order(e.Order, false)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("atomic_store_explicit(&%s, %d, %s);",
+			litmus.AddrName(e.Addr), r.writeValue(e.ID), order), nil
+	}
+	return "", fmt.Errorf("render: unknown kind %v", e.Kind)
+}
+
+func c11Order(o litmus.Order, isRead bool) (string, error) {
+	switch o {
+	case litmus.OPlain:
+		return "memory_order_relaxed", nil
+	case litmus.OConsume:
+		return "memory_order_consume", nil
+	case litmus.OAcquire:
+		if !isRead {
+			return "", fmt.Errorf("render: acquire store")
+		}
+		return "memory_order_acquire", nil
+	case litmus.ORelease:
+		if isRead {
+			return "", fmt.Errorf("render: release load")
+		}
+		return "memory_order_release", nil
+	case litmus.OAcqRel:
+		return "memory_order_acq_rel", nil
+	case litmus.OSC:
+		return "memory_order_seq_cst", nil
+	}
+	return "", fmt.Errorf("render: unknown order %v", o)
+}
+
+// depComment annotates dependency sources/targets (hardware dialects carry
+// dependencies syntactically; a comment keeps the listing honest without
+// fabricating address arithmetic).
+func (r *renderer) depComment(id int) string {
+	var notes []string
+	for _, d := range r.test.Deps {
+		if d.From == id {
+			notes = append(notes, fmt.Sprintf("%v dep to e%d", d.Type, d.To))
+		}
+		if d.To == id {
+			notes = append(notes, fmt.Sprintf("%v dep from e%d", d.Type, d.From))
+		}
+	}
+	if len(notes) == 0 {
+		return ""
+	}
+	return "  ; " + strings.Join(notes, ", ")
+}
+
+// existsClause prints the witness outcome in litmus convention:
+// "P1:r0=1 /\ x=2 ...".
+func (r *renderer) existsClause(regOf map[int]string) string {
+	var parts []string
+	for _, e := range r.test.Events {
+		if e.Kind != litmus.KRead {
+			continue
+		}
+		reg, ok := regOf[e.ID]
+		if !ok {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("P%d:%s=%d", e.Thread, reg, r.witness.ReadValue(e.ID)))
+	}
+	for a := 0; a < r.test.NumAddrs(); a++ {
+		if a < len(r.witness.CO) && len(r.witness.CO[a]) > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", litmus.AddrName(a), r.witness.FinalValue(a)))
+		}
+	}
+	return strings.Join(parts, " /\\ ")
+}
+
+// TargetFor suggests the conventional rendering target for a model name.
+func TargetFor(model string) (Target, bool) {
+	switch model {
+	case "sc", "tso":
+		return X86, true
+	case "power":
+		return Power, true
+	case "armv7", "armv8":
+		return ARM, true
+	case "c11", "scc", "hsa":
+		return C11, true
+	}
+	return 0, false
+}

@@ -1,0 +1,168 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+func mpWitness() *exec.Execution {
+	t := litmus.New("MP", [][]litmus.Op{
+		{litmus.W(0), litmus.W(1)},
+		{litmus.R(1), litmus.R(0)},
+	})
+	return &exec.Execution{
+		Test: t,
+		RF:   []int{-1, -1, 1, -1},
+		CO:   [][]int{{0}, {1}},
+	}
+}
+
+func mustRender(t *testing.T, target Target, lt *litmus.Test, w *exec.Execution) string {
+	t.Helper()
+	s, err := Render(target, lt, w)
+	if err != nil {
+		t.Fatalf("Render(%v): %v", target, err)
+	}
+	return s
+}
+
+func TestX86MP(t *testing.T) {
+	w := mpWitness()
+	s := mustRender(t, X86, w.Test, w)
+	for _, want := range []string{
+		`X86 "MP"`, "{ x=0; y=0 }",
+		"MOV [x], 1", "MOV [y], 1",
+		"MOV EAX+0, [y]", "MOV EAX+1, [x]",
+		"exists (P1:EAX+0=1 /\\ P1:EAX+1=0 /\\ x=1 /\\ y=1)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("x86 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestX86RejectsNonTSO(t *testing.T) {
+	lt := litmus.New("bad", [][]litmus.Op{{litmus.Racq(0)}})
+	if _, err := Render(X86, lt, nil); err == nil {
+		t.Error("acquire load rendered for x86")
+	}
+	ltF := litmus.New("badF", [][]litmus.Op{{litmus.W(0), litmus.F(litmus.FSync), litmus.W(1)}})
+	if _, err := Render(X86, ltF, nil); err == nil {
+		t.Error("sync fence rendered for x86")
+	}
+}
+
+func TestPowerFencesAndDeps(t *testing.T) {
+	lt := litmus.New("MP+lwsync+addr", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FLwSync), litmus.W(1)},
+		{litmus.R(1), litmus.R(0)},
+	}, litmus.WithDep(1, 0, 1, litmus.DepAddr))
+	s := mustRender(t, Power, lt, nil)
+	for _, want := range []string{"PPC", "lwsync", "stw", "lwz", "addr dep"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Power output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPowerRMW(t *testing.T) {
+	lt := litmus.New("rmw", [][]litmus.Op{
+		{litmus.R(0), litmus.W(0)},
+	}, litmus.WithRMW(0, 0))
+	s := mustRender(t, Power, lt, nil)
+	if !strings.Contains(s, "lwarx") || !strings.Contains(s, "stwcx.") {
+		t.Errorf("Power RMW rendering wrong:\n%s", s)
+	}
+}
+
+func TestARMAcquireRelease(t *testing.T) {
+	lt := litmus.New("MP+stlr+ldar", [][]litmus.Op{
+		{litmus.W(0), litmus.Wrel(1)},
+		{litmus.Racq(1), litmus.R(0)},
+	})
+	s := mustRender(t, ARM, lt, nil)
+	for _, want := range []string{"ARM", "stlr", "ldar", "str", "ldr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ARM output missing %q:\n%s", want, s)
+		}
+	}
+	fenced := litmus.New("f", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FSync), litmus.R(1)},
+	})
+	s = mustRender(t, ARM, fenced, nil)
+	if !strings.Contains(s, "dmb sy") {
+		t.Errorf("ARM dmb missing:\n%s", s)
+	}
+}
+
+func TestC11Source(t *testing.T) {
+	lt := litmus.New("MP+ra", [][]litmus.Op{
+		{litmus.W(0), litmus.Wrel(1)},
+		{litmus.Racq(1), litmus.R(0)},
+	})
+	s := mustRender(t, C11, lt, nil)
+	for _, want := range []string{
+		"atomic_store_explicit(&x, 1, memory_order_relaxed);",
+		"atomic_store_explicit(&y, 1, memory_order_release);",
+		"atomic_load_explicit(&y, memory_order_acquire);",
+		"atomic_load_explicit(&x, memory_order_relaxed);",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("C11 output missing %q:\n%s", want, s)
+		}
+	}
+	fenced := litmus.New("fences", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FSC), litmus.R(1)},
+	})
+	s = mustRender(t, C11, fenced, nil)
+	if !strings.Contains(s, "atomic_thread_fence(memory_order_seq_cst);") {
+		t.Errorf("C11 fence missing:\n%s", s)
+	}
+}
+
+func TestC11RejectsBadOrders(t *testing.T) {
+	relLoad := litmus.Test{Events: []litmus.Event{
+		{ID: 0, Kind: litmus.KRead, Order: litmus.ORelease, Addr: 0},
+	}}
+	if _, err := Render(C11, &relLoad, nil); err == nil {
+		t.Error("release load rendered")
+	}
+}
+
+func TestWriteValuesFollowWitnessCoherence(t *testing.T) {
+	lt := litmus.New("2W", [][]litmus.Op{
+		{litmus.W(0)},
+		{litmus.W(0)},
+	})
+	w := &exec.Execution{Test: lt, RF: []int{-1, -1}, CO: [][]int{{1, 0}}}
+	s := mustRender(t, X86, lt, w)
+	// Event 1 is coherence-first: value 1; event 0 second: value 2.
+	if !strings.Contains(s, "MOV [x], 2") {
+		t.Errorf("witness coherence values not used:\n%s", s)
+	}
+}
+
+func TestTargetFor(t *testing.T) {
+	cases := map[string]Target{
+		"tso": X86, "sc": X86, "power": Power,
+		"armv7": ARM, "armv8": ARM, "c11": C11, "scc": C11, "hsa": C11,
+	}
+	for model, want := range cases {
+		got, ok := TargetFor(model)
+		if !ok || got != want {
+			t.Errorf("TargetFor(%s) = %v,%v", model, got, ok)
+		}
+	}
+	if _, ok := TargetFor("zz"); ok {
+		t.Error("TargetFor(zz) should fail")
+	}
+}
+
+func TestTargetStrings(t *testing.T) {
+	if X86.String() != "x86" || Power.String() != "power" || ARM.String() != "arm" || C11.String() != "c11" {
+		t.Error("target strings wrong")
+	}
+}

@@ -1,0 +1,383 @@
+package rml
+
+import (
+	"fmt"
+
+	"memsynth/internal/sat"
+)
+
+// compiled is the Tseitin-compiled form of a Problem.
+type compiled struct {
+	p        *Problem
+	solver   *sat.Solver
+	vars     map[string][]sat.Lit // free-variable cells; constants for bound-fixed cells
+	trueLit  sat.Lit
+	falseLit sat.Lit
+}
+
+func (p *Problem) compile() (*compiled, error) {
+	c := &compiled{
+		p:      p,
+		solver: sat.New(),
+		vars:   make(map[string][]sat.Lit),
+	}
+	// A designated constant-true literal.
+	c.trueLit = c.newLit()
+	c.solver.AddClause(c.trueLit)
+	c.falseLit = c.trueLit.Not()
+
+	n := p.n
+	for _, name := range p.order {
+		b := p.varDecl[name]
+		cells := make([]sat.Lit, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch {
+				case b.lower.Has(i, j):
+					cells[i*n+j] = c.trueLit
+				case !b.upper.Has(i, j):
+					cells[i*n+j] = c.falseLit
+				default:
+					cells[i*n+j] = c.newLit()
+				}
+			}
+		}
+		c.vars[name] = cells
+	}
+	for _, f := range p.facts {
+		lit, err := c.formula(f)
+		if err != nil {
+			return nil, err
+		}
+		c.solver.AddClause(lit)
+	}
+	return c, nil
+}
+
+func (c *compiled) newLit() sat.Lit {
+	return sat.NewLit(c.solver.NewVar(), false)
+}
+
+func (c *compiled) isConst(l sat.Lit) (bool, bool) {
+	switch l {
+	case c.trueLit:
+		return true, true
+	case c.falseLit:
+		return false, true
+	}
+	return false, false
+}
+
+// and returns a literal equivalent to a ∧ b.
+func (c *compiled) and(a, b sat.Lit) sat.Lit {
+	if v, ok := c.isConst(a); ok {
+		if v {
+			return b
+		}
+		return c.falseLit
+	}
+	if v, ok := c.isConst(b); ok {
+		if v {
+			return a
+		}
+		return c.falseLit
+	}
+	if a == b {
+		return a
+	}
+	if a == b.Not() {
+		return c.falseLit
+	}
+	out := c.newLit()
+	c.solver.AddClause(out.Not(), a)
+	c.solver.AddClause(out.Not(), b)
+	c.solver.AddClause(out, a.Not(), b.Not())
+	return out
+}
+
+// orN returns a literal equivalent to the disjunction of lits.
+func (c *compiled) orN(lits []sat.Lit) sat.Lit {
+	var reduced []sat.Lit
+	for _, l := range lits {
+		if v, ok := c.isConst(l); ok {
+			if v {
+				return c.trueLit
+			}
+			continue
+		}
+		reduced = append(reduced, l)
+	}
+	switch len(reduced) {
+	case 0:
+		return c.falseLit
+	case 1:
+		return reduced[0]
+	}
+	out := c.newLit()
+	// out -> l1 ∨ ... ∨ ln
+	clause := append([]sat.Lit{out.Not()}, reduced...)
+	c.solver.AddClause(clause...)
+	// li -> out
+	for _, l := range reduced {
+		c.solver.AddClause(out, l.Not())
+	}
+	return out
+}
+
+// andN returns a literal equivalent to the conjunction of lits.
+func (c *compiled) andN(lits []sat.Lit) sat.Lit {
+	neg := make([]sat.Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Not()
+	}
+	return c.orN(neg).Not()
+}
+
+// expr compiles a relational expression to its n*n cell literals.
+func (c *compiled) expr(e Expr) ([]sat.Lit, error) {
+	n := c.p.n
+	switch e := e.(type) {
+	case VarExpr:
+		cells, ok := c.vars[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("rml: undeclared relation %q", e.Name)
+		}
+		return cells, nil
+	case ConstExpr:
+		if e.Rel.N() != n {
+			return nil, fmt.Errorf("rml: constant relation universe %d != %d", e.Rel.N(), n)
+		}
+		cells := make([]sat.Lit, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if e.Rel.Has(i, j) {
+					cells[i*n+j] = c.trueLit
+				} else {
+					cells[i*n+j] = c.falseLit
+				}
+			}
+		}
+		return cells, nil
+	case UnionExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.expr(e.B)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, n*n)
+		for i := range out {
+			out[i] = c.orN([]sat.Lit{a[i], b[i]})
+		}
+		return out, nil
+	case IntersectExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.expr(e.B)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, n*n)
+		for i := range out {
+			out[i] = c.and(a[i], b[i])
+		}
+		return out, nil
+	case MinusExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.expr(e.B)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, n*n)
+		for i := range out {
+			out[i] = c.and(a[i], b[i].Not())
+		}
+		return out, nil
+	case JoinExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.expr(e.B)
+		if err != nil {
+			return nil, err
+		}
+		return c.join(a, b), nil
+	case TransposeExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out[i*n+j] = a[j*n+i]
+			}
+		}
+		return out, nil
+	case ClosureExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		return c.closure(a), nil
+	case RClosureExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		cl := c.closure(a)
+		out := append([]sat.Lit(nil), cl...)
+		for i := 0; i < n; i++ {
+			out[i*n+i] = c.trueLit
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("rml: unknown expression %T", e)
+}
+
+// join builds the relational join of two cell matrices.
+func (c *compiled) join(a, b []sat.Lit) []sat.Lit {
+	n := c.p.n
+	out := make([]sat.Lit, n*n)
+	terms := make([]sat.Lit, 0, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			terms = terms[:0]
+			for j := 0; j < n; j++ {
+				terms = append(terms, c.and(a[i*n+j], b[j*n+k]))
+			}
+			out[i*n+k] = c.orN(terms)
+		}
+	}
+	return out
+}
+
+// closure builds the transitive closure by iterated squaring:
+// R_{k+1} = R_k ∪ R_k;R_k, ceil(log2(n)) times.
+func (c *compiled) closure(a []sat.Lit) []sat.Lit {
+	n := c.p.n
+	cur := a
+	for span := 1; span < n; span *= 2 {
+		sq := c.join(cur, cur)
+		next := make([]sat.Lit, n*n)
+		for i := range next {
+			next[i] = c.orN([]sat.Lit{cur[i], sq[i]})
+		}
+		cur = next
+	}
+	return cur
+}
+
+// formula compiles a formula to a single literal.
+func (c *compiled) formula(f Formula) (sat.Lit, error) {
+	n := c.p.n
+	switch f := f.(type) {
+	case SubsetFormula:
+		a, err := c.expr(f.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := c.expr(f.B)
+		if err != nil {
+			return 0, err
+		}
+		impls := make([]sat.Lit, 0, n*n)
+		for i := range a {
+			impls = append(impls, c.orN([]sat.Lit{a[i].Not(), b[i]}))
+		}
+		return c.andN(impls), nil
+	case EmptyFormula:
+		a, err := c.expr(f.A)
+		if err != nil {
+			return 0, err
+		}
+		negs := make([]sat.Lit, 0, n*n)
+		for i := range a {
+			negs = append(negs, a[i].Not())
+		}
+		return c.andN(negs), nil
+	case IrreflexiveFormula:
+		a, err := c.expr(f.A)
+		if err != nil {
+			return 0, err
+		}
+		negs := make([]sat.Lit, 0, n)
+		for i := 0; i < n; i++ {
+			negs = append(negs, a[i*n+i].Not())
+		}
+		return c.andN(negs), nil
+	case AcyclicFormula:
+		return c.formula(IrreflexiveFormula{ClosureExpr{f.A}})
+	case InFormula:
+		if f.I < 0 || f.I >= n || f.J < 0 || f.J >= n {
+			return 0, fmt.Errorf("rml: pair (%d,%d) outside universe", f.I, f.J)
+		}
+		a, err := c.expr(f.A)
+		if err != nil {
+			return 0, err
+		}
+		return a[f.I*n+f.J], nil
+	case NotFormula:
+		l, err := c.formula(f.F)
+		if err != nil {
+			return 0, err
+		}
+		return l.Not(), nil
+	case AndFormula:
+		lits := make([]sat.Lit, 0, len(f.Fs))
+		for _, sub := range f.Fs {
+			l, err := c.formula(sub)
+			if err != nil {
+				return 0, err
+			}
+			lits = append(lits, l)
+		}
+		return c.andN(lits), nil
+	case OrFormula:
+		lits := make([]sat.Lit, 0, len(f.Fs))
+		for _, sub := range f.Fs {
+			l, err := c.formula(sub)
+			if err != nil {
+				return 0, err
+			}
+			lits = append(lits, l)
+		}
+		return c.orN(lits), nil
+	}
+	return 0, fmt.Errorf("rml: unknown formula %T", f)
+}
+
+// extract reads the current model into concrete relations.
+func (c *compiled) extract() Model {
+	n := c.p.n
+	model := c.solver.Model()
+	out := make(Model, len(c.vars))
+	for name, cells := range c.vars {
+		r := c.p.varDecl[name].lower.Clone()
+		for idx, lit := range cells {
+			if v, ok := c.isConst(lit); ok {
+				if v {
+					r.Add(idx/n, idx%n)
+				}
+				continue
+			}
+			val := model[lit.Var()]
+			if lit.Neg() {
+				val = !val
+			}
+			if val {
+				r.Add(idx/n, idx%n)
+			}
+		}
+		out[name] = r
+	}
+	return out
+}

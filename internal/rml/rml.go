@@ -1,0 +1,266 @@
+// Package rml is a bounded relational model finder in the spirit of
+// Alloy/Kodkod, the front end the paper uses (§4): relational constraints
+// over a finite universe are compiled, via Tseitin transformation, into CNF
+// for the CDCL solver of package sat, and satisfying models are enumerated
+// with blocking clauses.
+//
+// The language covers what axiomatic memory models need — union,
+// intersection, difference, join, transpose, transitive closure,
+// domain/range restriction via partial-identity constants — plus the
+// acyclicity and irreflexivity predicates axioms are phrased with. Free
+// relation variables play the role of Alloy's unknown relations (rf, co);
+// constant relations encode the static structure (po, addresses).
+//
+// The production synthesis path of this repository is the explicit
+// enumerator of package synth; rml reproduces the paper's solver pipeline
+// and cross-validates the enumerator (see the package tests and the
+// examples), exactly as Alloy cross-checks hand analyses in the paper.
+package rml
+
+import (
+	"fmt"
+
+	"memsynth/internal/relation"
+	"memsynth/internal/sat"
+)
+
+// Expr is a relational expression over a universe fixed by the Problem.
+type Expr interface {
+	exprNode()
+}
+
+type (
+	// VarExpr references a free relation variable by name.
+	VarExpr struct{ Name string }
+	// ConstExpr embeds a constant relation.
+	ConstExpr struct{ Rel relation.Rel }
+	// UnionExpr is a ∪ b.
+	UnionExpr struct{ A, B Expr }
+	// IntersectExpr is a ∩ b.
+	IntersectExpr struct{ A, B Expr }
+	// MinusExpr is a \ b.
+	MinusExpr struct{ A, B Expr }
+	// JoinExpr is the relational join a;b.
+	JoinExpr struct{ A, B Expr }
+	// TransposeExpr is ~a.
+	TransposeExpr struct{ A Expr }
+	// ClosureExpr is the transitive closure ^a.
+	ClosureExpr struct{ A Expr }
+	// RClosureExpr is the reflexive transitive closure *a.
+	RClosureExpr struct{ A Expr }
+)
+
+func (VarExpr) exprNode()       {}
+func (ConstExpr) exprNode()     {}
+func (UnionExpr) exprNode()     {}
+func (IntersectExpr) exprNode() {}
+func (MinusExpr) exprNode()     {}
+func (JoinExpr) exprNode()      {}
+func (TransposeExpr) exprNode() {}
+func (ClosureExpr) exprNode()   {}
+func (RClosureExpr) exprNode()  {}
+
+// Convenience constructors.
+
+// Var references the named free relation.
+func Var(name string) Expr { return VarExpr{name} }
+
+// Const embeds a fixed relation.
+func Const(r relation.Rel) Expr { return ConstExpr{r} }
+
+// Union returns the union of the given expressions.
+func Union(xs ...Expr) Expr {
+	if len(xs) == 0 {
+		panic("rml: empty union")
+	}
+	e := xs[0]
+	for _, x := range xs[1:] {
+		e = UnionExpr{e, x}
+	}
+	return e
+}
+
+// Intersect returns a ∩ b.
+func Intersect(a, b Expr) Expr { return IntersectExpr{a, b} }
+
+// Minus returns a \ b.
+func Minus(a, b Expr) Expr { return MinusExpr{a, b} }
+
+// Join returns a;b.
+func Join(a, b Expr) Expr { return JoinExpr{a, b} }
+
+// Transpose returns ~a.
+func Transpose(a Expr) Expr { return TransposeExpr{a} }
+
+// Closure returns ^a.
+func Closure(a Expr) Expr { return ClosureExpr{a} }
+
+// RClosure returns *a.
+func RClosure(a Expr) Expr { return RClosureExpr{a} }
+
+// Formula is a boolean constraint over relational expressions.
+type Formula interface {
+	formulaNode()
+}
+
+type (
+	// SubsetFormula asserts a ⊆ b.
+	SubsetFormula struct{ A, B Expr }
+	// EmptyFormula asserts a = ∅.
+	EmptyFormula struct{ A Expr }
+	// IrreflexiveFormula asserts no (i,i) ∈ a.
+	IrreflexiveFormula struct{ A Expr }
+	// AcyclicFormula asserts a has no cycles.
+	AcyclicFormula struct{ A Expr }
+	// InFormula asserts (I, J) ∈ a.
+	InFormula struct {
+		I, J int
+		A    Expr
+	}
+	// NotFormula negates a formula.
+	NotFormula struct{ F Formula }
+	// AndFormula is the conjunction of formulas.
+	AndFormula struct{ Fs []Formula }
+	// OrFormula is the disjunction of formulas.
+	OrFormula struct{ Fs []Formula }
+)
+
+func (SubsetFormula) formulaNode()      {}
+func (EmptyFormula) formulaNode()       {}
+func (IrreflexiveFormula) formulaNode() {}
+func (AcyclicFormula) formulaNode()     {}
+func (InFormula) formulaNode()          {}
+func (NotFormula) formulaNode()         {}
+func (AndFormula) formulaNode()         {}
+func (OrFormula) formulaNode()          {}
+
+// Subset asserts a ⊆ b.
+func Subset(a, b Expr) Formula { return SubsetFormula{a, b} }
+
+// Empty asserts a = ∅.
+func Empty(a Expr) Formula { return EmptyFormula{a} }
+
+// Irreflexive asserts a ∩ iden = ∅.
+func Irreflexive(a Expr) Formula { return IrreflexiveFormula{a} }
+
+// Acyclic asserts ^a is irreflexive.
+func Acyclic(a Expr) Formula { return AcyclicFormula{a} }
+
+// In asserts the pair (i, j) is in a.
+func In(i, j int, a Expr) Formula { return InFormula{i, j, a} }
+
+// Not negates f.
+func Not(f Formula) Formula { return NotFormula{f} }
+
+// And conjoins formulas.
+func And(fs ...Formula) Formula { return AndFormula{fs} }
+
+// Or disjoins formulas.
+func Or(fs ...Formula) Formula { return OrFormula{fs} }
+
+// Problem is a bounded relational satisfaction problem.
+type Problem struct {
+	n       int
+	varDecl map[string]varBounds
+	order   []string
+	facts   []Formula
+}
+
+type varBounds struct {
+	lower, upper relation.Rel
+}
+
+// NewProblem creates a problem over a universe of n atoms.
+func NewProblem(n int) *Problem {
+	if n <= 0 || n > relation.MaxUniverse {
+		panic(fmt.Sprintf("rml: universe size %d out of range", n))
+	}
+	return &Problem{n: n, varDecl: make(map[string]varBounds)}
+}
+
+// N returns the universe size.
+func (p *Problem) N() int { return p.n }
+
+// Declare introduces a free relation variable with bounds: every pair of
+// lower is forced in, and only pairs of upper may appear (Kodkod-style
+// bounds). Pass relation.New(n) and relation.Full(n) for an unconstrained
+// relation.
+func (p *Problem) Declare(name string, lower, upper relation.Rel) {
+	if _, dup := p.varDecl[name]; dup {
+		panic(fmt.Sprintf("rml: duplicate declaration of %q", name))
+	}
+	if lower.N() != p.n || upper.N() != p.n {
+		panic("rml: bounds universe mismatch")
+	}
+	if !lower.SubsetOf(upper) {
+		panic(fmt.Sprintf("rml: lower bound of %q not within upper bound", name))
+	}
+	p.varDecl[name] = varBounds{lower: lower, upper: upper}
+	p.order = append(p.order, name)
+}
+
+// Fact adds a constraint every model must satisfy.
+func (p *Problem) Fact(f Formula) { p.facts = append(p.facts, f) }
+
+// Model is one satisfying assignment of the free relation variables.
+type Model map[string]relation.Rel
+
+// Solve returns whether the problem is satisfiable and, if so, one model.
+func (p *Problem) Solve() (Model, bool, error) {
+	s, err := p.compile()
+	if err != nil {
+		return nil, false, err
+	}
+	ok, err := s.solver.Solve()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return s.extract(), true, nil
+}
+
+// EnumerateModels visits every model of the problem (deduplicated over the
+// free variables) until visit returns false. It returns the number of
+// models visited.
+func (p *Problem) EnumerateModels(visit func(Model) bool) (int, error) {
+	s, err := p.compile()
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for {
+		ok, err := s.solver.Solve()
+		if err != nil {
+			return count, err
+		}
+		if !ok {
+			return count, nil
+		}
+		m := s.extract()
+		count++
+		if !visit(m) {
+			return count, nil
+		}
+		// Block this assignment of the free variables.
+		var block []sat.Lit
+		for name, cells := range s.vars {
+			rel := m[name]
+			for idx, lit := range cells {
+				if _, fixed := s.isConst(lit); fixed {
+					continue // fixed by bounds
+				}
+				i, j := idx/p.n, idx%p.n
+				if rel.Has(i, j) {
+					block = append(block, lit.Not())
+				} else {
+					block = append(block, lit)
+				}
+			}
+		}
+		if len(block) == 0 {
+			return count, nil // no free cells: unique model
+		}
+		if !s.solver.AddClause(block...) {
+			return count, nil
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package rml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/relation"
+)
+
+func TestSolveSimple(t *testing.T) {
+	p := NewProblem(3)
+	p.Declare("r", relation.New(3), relation.Full(3))
+	p.Fact(In(0, 1, Var("r")))
+	p.Fact(In(1, 2, Var("r")))
+	p.Fact(Subset(Join(Var("r"), Var("r")), Var("r"))) // transitive
+	m, ok, err := p.Solve()
+	if err != nil || !ok {
+		t.Fatalf("Solve: ok=%v err=%v", ok, err)
+	}
+	if !m["r"].Has(0, 2) {
+		t.Errorf("transitivity not enforced: %v", m["r"])
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	p := NewProblem(2)
+	p.Declare("r", relation.New(2), relation.Full(2))
+	p.Fact(In(0, 1, Var("r")))
+	p.Fact(Empty(Var("r")))
+	_, ok, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("contradiction reported SAT")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	lower := relation.FromPairs(3, [2]int{0, 1})
+	upper := relation.FromPairs(3, [2]int{0, 1}, [2]int{1, 2})
+	p := NewProblem(3)
+	p.Declare("r", lower, upper)
+	count, err := p.EnumerateModels(func(m Model) bool {
+		if !m["r"].Has(0, 1) {
+			t.Error("lower bound violated")
+		}
+		if m["r"].Has(2, 0) {
+			t.Error("upper bound violated")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One free cell (1,2): exactly two models.
+	if count != 2 {
+		t.Errorf("models = %d, want 2", count)
+	}
+}
+
+func TestAcyclicFormula(t *testing.T) {
+	// Force a 2-cycle and demand acyclicity: UNSAT.
+	p := NewProblem(2)
+	p.Declare("r", relation.FromPairs(2, [2]int{0, 1}, [2]int{1, 0}), relation.Full(2))
+	p.Fact(Acyclic(Var("r")))
+	if _, ok, _ := p.Solve(); ok {
+		t.Error("cyclic forced relation reported acyclic-satisfiable")
+	}
+
+	p2 := NewProblem(2)
+	p2.Declare("r", relation.FromPairs(2, [2]int{0, 1}), relation.FromPairs(2, [2]int{0, 1}, [2]int{1, 0}))
+	p2.Fact(Acyclic(Var("r")))
+	m, ok, err := p2.Solve()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if m["r"].Has(1, 0) {
+		t.Error("model kept the cycle")
+	}
+}
+
+func TestTransposeAndClosure(t *testing.T) {
+	p := NewProblem(4)
+	chain := relation.FromPairs(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	p.Declare("r", relation.New(4), relation.Full(4))
+	p.Fact(Subset(Const(chain), Var("r")))
+	p.Fact(Subset(Var("r"), Const(chain))) // r == chain
+	p.Fact(In(3, 0, Transpose(Closure(Var("r")))))
+	if _, ok, _ := p.Solve(); !ok {
+		t.Error("closure/transpose fact unsatisfiable")
+	}
+	p2 := NewProblem(4)
+	p2.Declare("r", chain, chain)
+	p2.Fact(In(0, 3, Transpose(Var("r"))))
+	if _, ok, _ := p2.Solve(); ok {
+		t.Error("(0,3) in transpose of chain should be false")
+	}
+}
+
+func TestEnumerateCount(t *testing.T) {
+	// All relations over a 2-atom universe: 2^4 = 16 models.
+	p := NewProblem(2)
+	p.Declare("r", relation.New(2), relation.Full(2))
+	count, err := p.EnumerateModels(func(Model) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Errorf("models = %d, want 16", count)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := NewProblem(2)
+	p.Declare("r", relation.New(2), relation.Full(2))
+	count, err := p.EnumerateModels(func(Model) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("visited %d, want 1", count)
+	}
+}
+
+func TestUndeclaredVariable(t *testing.T) {
+	p := NewProblem(2)
+	p.Fact(Empty(Var("ghost")))
+	if _, _, err := p.Solve(); err == nil {
+		t.Error("undeclared variable accepted")
+	}
+}
+
+// enumerateTSO collects the (rf, co) models of the SAT encoding.
+func enumerateTSO(t *testing.T, lt *litmus.Test, valid bool) map[string]bool {
+	t.Helper()
+	enc := EncodeTSO(lt)
+	if valid {
+		enc.AssertValid()
+	} else {
+		enc.AssertForbidden()
+	}
+	keys := map[string]bool{}
+	_, err := enc.Problem.EnumerateModels(func(m Model) bool {
+		keys[m["rf"].String()+"/"+m["co"].String()] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+// enumerateExplicit collects the same space from the explicit enumerator.
+func enumerateExplicit(lt *litmus.Test, wantValid bool) map[string]bool {
+	tso := memmodel.TSO()
+	n := lt.NumEvents()
+	keys := map[string]bool{}
+	exec.Enumerate(lt, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+		v := exec.NewView(x, exec.NoPerturb)
+		if memmodel.Valid(tso, v) != wantValid {
+			return true
+		}
+		rf := relation.New(n)
+		for r, w := range x.RF {
+			if w >= 0 {
+				rf.Add(w, r)
+			}
+		}
+		co := relation.New(n)
+		for _, ws := range x.CO {
+			for i := 0; i < len(ws); i++ {
+				for j := i + 1; j < len(ws); j++ {
+					co.Add(ws[i], ws[j])
+				}
+			}
+		}
+		keys[rf.String()+"/"+co.String()] = true
+		return true
+	})
+	return keys
+}
+
+func sameKeys(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTSOEncodingMatchesEnumerator is the Alloy-pipeline cross-validation:
+// the SAT-backed model finder and the explicit enumerator agree exactly on
+// the valid and forbidden execution sets of classic tests.
+func TestTSOEncodingMatchesEnumerator(t *testing.T) {
+	mf := litmus.F(litmus.FMFence)
+	tests := []*litmus.Test{
+		litmus.New("MP", [][]litmus.Op{{litmus.W(0), litmus.W(1)}, {litmus.R(1), litmus.R(0)}}),
+		litmus.New("SB", [][]litmus.Op{{litmus.W(0), litmus.R(1)}, {litmus.W(1), litmus.R(0)}}),
+		litmus.New("SB+mfences", [][]litmus.Op{
+			{litmus.W(0), mf, litmus.R(1)},
+			{litmus.W(1), mf, litmus.R(0)},
+		}),
+		litmus.New("CoRW", [][]litmus.Op{{litmus.R(0), litmus.W(0)}, {litmus.W(0)}}),
+		litmus.New("RMW+W", [][]litmus.Op{
+			{litmus.R(0), litmus.W(0)},
+			{litmus.W(0)},
+		}, litmus.WithRMW(0, 0)),
+	}
+	for _, lt := range tests {
+		for _, valid := range []bool{true, false} {
+			satKeys := enumerateTSO(t, lt, valid)
+			expKeys := enumerateExplicit(lt, valid)
+			if !sameKeys(satKeys, expKeys) {
+				t.Errorf("%s (valid=%v): SAT %d models, enumerator %d",
+					lt.Name, valid, len(satKeys), len(expKeys))
+			}
+		}
+	}
+}
+
+// enumerateExplicitModel mirrors enumerateExplicit for any model.
+func enumerateExplicitModel(m memmodel.Model, lt *litmus.Test, wantValid bool) map[string]bool {
+	n := lt.NumEvents()
+	keys := map[string]bool{}
+	exec.Enumerate(lt, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+		v := exec.NewView(x, exec.NoPerturb)
+		if memmodel.Valid(m, v) != wantValid {
+			return true
+		}
+		rf := relation.New(n)
+		for r, w := range x.RF {
+			if w >= 0 {
+				rf.Add(w, r)
+			}
+		}
+		co := relation.New(n)
+		for _, ws := range x.CO {
+			for i := 0; i < len(ws); i++ {
+				for j := i + 1; j < len(ws); j++ {
+					co.Add(ws[i], ws[j])
+				}
+			}
+		}
+		keys[rf.String()+"/"+co.String()] = true
+		return true
+	})
+	return keys
+}
+
+// TestSCEncodingMatchesEnumerator cross-validates the SC encoding.
+func TestSCEncodingMatchesEnumerator(t *testing.T) {
+	sc := memmodel.SC()
+	tests := []*litmus.Test{
+		litmus.New("SB", [][]litmus.Op{{litmus.W(0), litmus.R(1)}, {litmus.W(1), litmus.R(0)}}),
+		litmus.New("MP", [][]litmus.Op{{litmus.W(0), litmus.W(1)}, {litmus.R(1), litmus.R(0)}}),
+		litmus.New("RMW+W", [][]litmus.Op{
+			{litmus.R(0), litmus.W(0)},
+			{litmus.W(0)},
+		}, litmus.WithRMW(0, 0)),
+	}
+	for _, lt := range tests {
+		for _, valid := range []bool{true, false} {
+			enc := EncodeSC(lt)
+			if valid {
+				enc.AssertValid()
+			} else {
+				enc.AssertForbidden()
+			}
+			satKeys := map[string]bool{}
+			if _, err := enc.Problem.EnumerateModels(func(m Model) bool {
+				satKeys[m["rf"].String()+"/"+m["co"].String()] = true
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			expKeys := enumerateExplicitModel(sc, lt, valid)
+			if !sameKeys(satKeys, expKeys) {
+				t.Errorf("%s (valid=%v): SAT %d models, enumerator %d",
+					lt.Name, valid, len(satKeys), len(expKeys))
+			}
+		}
+	}
+}
+
+// TestQuickTSOEncodingEquivalence extends the cross-validation to random
+// small TSO tests.
+func TestQuickTSOEncodingEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numThreads := 1 + rng.Intn(2)
+		var threads [][]litmus.Op
+		remap := map[int]int{}
+		for th := 0; th < numThreads; th++ {
+			size := 1 + rng.Intn(3)
+			var ops []litmus.Op
+			for i := 0; i < size; i++ {
+				addr := rng.Intn(2)
+				na, ok := remap[addr]
+				if !ok {
+					na = len(remap)
+					remap[addr] = na
+				}
+				if rng.Intn(2) == 0 {
+					ops = append(ops, litmus.R(na))
+				} else {
+					ops = append(ops, litmus.W(na))
+				}
+			}
+			threads = append(threads, ops)
+		}
+		lt := litmus.New("rnd", threads)
+		return sameKeys(enumerateTSO(t, lt, true), enumerateExplicit(lt, true))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package rml
+
+import (
+	"memsynth/internal/litmus"
+	"memsynth/internal/relation"
+)
+
+// TSOEncoding encodes the executions of a fixed litmus test under the TSO
+// model of paper Fig. 4 as a relational problem: rf and co are free
+// relation variables bounded by well-formedness, and the axioms are
+// available as formulas to assert or negate. This mirrors how the paper
+// drives Alloy: the static test structure becomes constant relations, the
+// dynamic relations are unknowns for the SAT solver.
+type TSOEncoding struct {
+	Problem *Problem
+	// Axioms maps axiom names (sc_per_loc, rmw_atomicity, causality) to
+	// their formulas.
+	Axioms map[string]Formula
+}
+
+// EncodeTSO builds the TSO encoding for test t.
+func EncodeTSO(t *litmus.Test) *TSOEncoding {
+	n := t.NumEvents()
+	p := NewProblem(n)
+
+	// Static constant relations.
+	po := relation.New(n)
+	sameAddr := relation.New(n)
+	ext := relation.New(n)
+	var reads, writes relation.Set
+	for _, a := range t.Events {
+		switch a.Kind {
+		case litmus.KRead:
+			reads = reads.Add(a.ID)
+		case litmus.KWrite:
+			writes = writes.Add(a.ID)
+		}
+		for _, b := range t.Events {
+			if a.ID == b.ID {
+				continue
+			}
+			if a.Thread == b.Thread && a.Index < b.Index {
+				po.Add(a.ID, b.ID)
+			}
+			if a.Thread != b.Thread {
+				ext.Add(a.ID, b.ID)
+			}
+			if a.Addr >= 0 && a.Addr == b.Addr {
+				sameAddr.Add(a.ID, b.ID)
+			}
+		}
+	}
+	poLoc := po.Intersect(sameAddr)
+	rmw := relation.New(n)
+	for _, pair := range t.RMW {
+		rmw.Add(pair[0], pair[1])
+	}
+	wr := relation.Cross(n, writes, reads)
+	rw := relation.Cross(n, reads, writes)
+	ppo := po.Minus(wr)
+	// fence = (po :> mfence).po
+	var fences relation.Set
+	for _, e := range t.Events {
+		if e.Kind == litmus.KFence && e.Fence == litmus.FMFence {
+			fences = fences.Add(e.ID)
+		}
+	}
+	fence := po.RestrictRange(fences).Join(po)
+
+	// Free variables with Kodkod-style bounds.
+	rfUpper := relation.Cross(n, writes, reads).Intersect(sameAddr)
+	coUpper := relation.Cross(n, writes, writes).Intersect(sameAddr)
+	p.Declare("rf", relation.New(n), rfUpper)
+	p.Declare("co", relation.New(n), coUpper)
+
+	rf := Var("rf")
+	co := Var("co")
+
+	// Well-formedness facts.
+	// Each read has at most one rf source.
+	for _, r := range reads.Members() {
+		var srcs []int
+		for _, w := range writes.Members() {
+			if rfUpper.Has(w, r) {
+				srcs = append(srcs, w)
+			}
+		}
+		for i := 0; i < len(srcs); i++ {
+			for j := i + 1; j < len(srcs); j++ {
+				p.Fact(Not(And(In(srcs[i], r, rf), In(srcs[j], r, rf))))
+			}
+		}
+	}
+	// co is a strict total order per address.
+	p.Fact(Subset(Join(co, co), co))
+	for _, w1 := range writes.Members() {
+		for _, w2 := range writes.Members() {
+			if w1 >= w2 || !sameAddr.Has(w1, w2) {
+				continue
+			}
+			p.Fact(Or(In(w1, w2, co), In(w2, w1, co)))
+			p.Fact(Not(And(In(w1, w2, co), In(w2, w1, co))))
+		}
+	}
+
+	// fr = (R -> W same address) - ~rf.*~co   (paper Fig. 4).
+	rwSame := rw.Intersect(sameAddr)
+	fr := Minus(Const(rwSame), Join(Transpose(rf), RClosure(Transpose(co))))
+
+	extC := Const(ext)
+	rfe := Intersect(rf, extC)
+	fre := Intersect(fr, extC)
+	coe := Intersect(co, extC)
+
+	axioms := map[string]Formula{
+		"sc_per_loc": Acyclic(Union(rf, co, fr, Const(poLoc))),
+		"rmw_atomicity": Empty(
+			Intersect(Join(fre, coe), Const(rmw)),
+		),
+		"causality": Acyclic(Union(rfe, co, fr, Const(ppo), Const(fence))),
+	}
+	return &TSOEncoding{Problem: p, Axioms: axioms}
+}
+
+// EncodeSC builds the sequential-consistency encoding for test t: the same
+// well-formedness bounds as EncodeTSO with Lamport's single total-order
+// axiom (plus RMW atomicity) — the strongest point of the model spectrum,
+// useful as the reference encoding.
+func EncodeSC(t *litmus.Test) *TSOEncoding {
+	enc := EncodeTSO(t)
+	// Rebuild the axiom map: SC's order axiom subsumes causality and
+	// sc_per_loc.
+	n := t.NumEvents()
+	po := relation.New(n)
+	for _, a := range t.Events {
+		for _, b := range t.Events {
+			if a.ID != b.ID && a.Thread == b.Thread && a.Index < b.Index {
+				po.Add(a.ID, b.ID)
+			}
+		}
+	}
+	rmwAtomicity := enc.Axioms["rmw_atomicity"]
+	sameAddr := relation.New(n)
+	for _, a := range t.Events {
+		for _, b := range t.Events {
+			if a.ID != b.ID && a.Addr >= 0 && a.Addr == b.Addr {
+				sameAddr.Add(a.ID, b.ID)
+			}
+		}
+	}
+	var reads, writes relation.Set
+	for _, e := range t.Events {
+		switch e.Kind {
+		case litmus.KRead:
+			reads = reads.Add(e.ID)
+		case litmus.KWrite:
+			writes = writes.Add(e.ID)
+		}
+	}
+	rwSame := relation.Cross(n, reads, writes).Intersect(sameAddr)
+	fr := Minus(Const(rwSame), Join(Transpose(Var("rf")), RClosure(Transpose(Var("co")))))
+	enc.Axioms = map[string]Formula{
+		"rmw_atomicity": rmwAtomicity,
+		"sc_order":      Acyclic(Union(Var("rf"), Var("co"), fr, Const(po))),
+	}
+	return enc
+}
+
+// AssertValid adds all axioms as facts: models are the valid executions.
+func (e *TSOEncoding) AssertValid() {
+	for _, f := range e.Axioms {
+		e.Problem.Fact(f)
+	}
+}
+
+// AssertForbidden adds the negated conjunction of the axioms: models are
+// the forbidden executions.
+func (e *TSOEncoding) AssertForbidden() {
+	var fs []Formula
+	for _, f := range e.Axioms {
+		fs = append(fs, f)
+	}
+	e.Problem.Fact(Not(And(fs...)))
+}

@@ -1,0 +1,121 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CNF is a formula in conjunctive normal form, the interchange form of the
+// DIMACS format every SAT solver (MiniSAT included) speaks.
+type CNF struct {
+	// NumVars is the number of variables (1-based).
+	NumVars int
+	// Clauses lists the clauses.
+	Clauses [][]Lit
+}
+
+// AddClause appends a clause, growing NumVars as needed.
+func (c *CNF) AddClause(lits ...Lit) {
+	for _, l := range lits {
+		if l.Var() > c.NumVars {
+			c.NumVars = l.Var()
+		}
+	}
+	c.Clauses = append(c.Clauses, lits)
+}
+
+// Solver builds a fresh solver loaded with the formula.
+func (c *CNF) Solver() *Solver {
+	s := New()
+	for i := 0; i < c.NumVars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range c.Clauses {
+		s.AddClause(cl...)
+	}
+	return s
+}
+
+// ParseDIMACS reads a formula in DIMACS CNF format: a "p cnf <vars>
+// <clauses>" header (optional), "c" comment lines, and zero-terminated
+// clauses of signed variable numbers.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	cnf := &CNF{}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	var current []Lit
+	lineNo := 0
+	declaredVars := -1
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count", lineNo)
+			}
+			declaredVars = v
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				cnf.AddClause(current...)
+				current = nil
+				continue
+			}
+			v := n
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			current = append(current, NewLit(v, neg))
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(current) > 0 {
+		return nil, fmt.Errorf("sat: unterminated clause at end of input")
+	}
+	if declaredVars > cnf.NumVars {
+		cnf.NumVars = declaredVars
+	}
+	return cnf, nil
+}
+
+// WriteDIMACS renders the formula in DIMACS CNF format.
+func (c *CNF) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", c.NumVars, len(c.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range c.Clauses {
+		for _, l := range cl {
+			n := l.Var()
+			if l.Neg() {
+				n = -n
+			}
+			if _, err := fmt.Fprintf(bw, "%d ", n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	cnf, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnf.NumVars != 3 || len(cnf.Clauses) != 2 {
+		t.Fatalf("cnf = %d vars %d clauses", cnf.NumVars, len(cnf.Clauses))
+	}
+	if cnf.Clauses[0][1] != NewLit(2, true) {
+		t.Errorf("clause 0 = %v", cnf.Clauses[0])
+	}
+	s := cnf.Solver()
+	ok, err := s.Solve()
+	if err != nil || !ok {
+		t.Fatalf("Solve: %v %v", ok, err)
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	in := "p cnf 2 1\n1\n2\n0\n"
+	cnf, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cnf.Clauses) != 1 || len(cnf.Clauses[0]) != 2 {
+		t.Fatalf("clauses = %v", cnf.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 2 1\n1 0\n",
+		"1 zz 0\n",
+		"1 2\n", // unterminated
+	}
+	for i, c := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	cnf := &CNF{}
+	cnf.AddClause(lit(1), nlit(2))
+	cnf.AddClause(lit(2), lit(3), nlit(1))
+	var buf bytes.Buffer
+	if err := cnf.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumVars != cnf.NumVars || len(parsed.Clauses) != len(cnf.Clauses) {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d",
+			parsed.NumVars, len(parsed.Clauses), cnf.NumVars, len(cnf.Clauses))
+	}
+	for i := range cnf.Clauses {
+		for j := range cnf.Clauses[i] {
+			if parsed.Clauses[i][j] != cnf.Clauses[i][j] {
+				t.Fatalf("clause %d differs: %v vs %v", i, parsed.Clauses[i], cnf.Clauses[i])
+			}
+		}
+	}
+}
+
+func TestQuickDIMACSRoundTripSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cnf := &CNF{}
+		n := 3 + rng.Intn(6)
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, 0, width)
+			for j := 0; j < width; j++ {
+				cl = append(cl, NewLit(1+rng.Intn(n), rng.Intn(2) == 0))
+			}
+			cnf.AddClause(cl...)
+		}
+		var buf bytes.Buffer
+		if err := cnf.WriteDIMACS(&buf); err != nil {
+			return false
+		}
+		parsed, err := ParseDIMACS(&buf)
+		if err != nil {
+			return false
+		}
+		a, errA := cnf.Solver().Solve()
+		b, errB := parsed.Solver().Solve()
+		return errA == nil && errB == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,669 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) boolean
+// satisfiability solver in the MiniSAT tradition: two-literal watching,
+// VSIDS-style activity-based decision heuristics, first-UIP clause learning
+// with non-chronological backjumping, and Luby restarts.
+//
+// It is the backend for the bounded relational model finder in internal/rml,
+// standing in for the MiniSAT solver the paper drives through Alloy and
+// Kodkod. Model enumeration (needed to synthesize *all* minimal litmus
+// tests) is provided through incremental solving with blocking clauses.
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Lit is a literal: a variable index with a sign. Variables are numbered
+// from 1; the literal encoding is 2*v for positive and 2*v+1 for negative.
+// The zero Lit is invalid.
+type Lit int32
+
+// NewLit returns the literal for variable v (v >= 1), negated if neg is set.
+func NewLit(v int, neg bool) Lit {
+	if v < 1 {
+		panic(fmt.Sprintf("sat: variable %d out of range", v))
+	}
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the variable index of the literal.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 != 0 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as "v3" or "¬v3".
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("¬v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+type varData struct {
+	assign   lbool
+	level    int32
+	reason   *clause
+	activity float64
+	polarity bool // phase saving: last assigned value
+	heapIdx  int32
+}
+
+// Stats reports solver work counters.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New.
+type Solver struct {
+	vars    []varData // 1-based; vars[0] unused
+	watches [][]watcher
+	clauses []*clause
+	learnts []*clause
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	heap    []int32 // binary max-heap of variables ordered by activity
+	varInc  float64
+	claInc  float64
+	stats   Stats
+	ok      bool // false once UNSAT at level 0
+	seen    []bool
+	assumps []Lit
+	model   []bool
+
+	// MaxConflicts, when positive, aborts Solve with ErrBudget after that
+	// many conflicts.
+	MaxConflicts int64
+}
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// New returns an empty solver with no variables.
+func New() *Solver {
+	return &Solver{
+		vars:    make([]varData, 1),
+		watches: make([][]watcher, 2),
+		seen:    make([]bool, 1),
+		varInc:  1.0,
+		claInc:  1.0,
+		ok:      true,
+	}
+}
+
+// NewVar allocates a fresh variable and returns its index (>= 1).
+func (s *Solver) NewVar() int {
+	v := len(s.vars)
+	s.vars = append(s.vars, varData{heapIdx: -1, polarity: true})
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, false)
+	s.heapInsert(int32(v))
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.vars) - 1 }
+
+// Stats returns the work counters accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.vars[l.Var()].assign
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already known to be unsatisfiable (including by this clause).
+// Clauses may only be added at decision level 0 (i.e., before or between
+// Solve calls).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause called at non-root decision level")
+	}
+	// Normalize: drop duplicate and false literals; detect tautology.
+	norm := make([]Lit, 0, len(lits))
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l.Var() <= 0 || l.Var() >= len(s.vars) {
+			panic(fmt.Sprintf("sat: literal %v references unallocated variable", l))
+		}
+		switch {
+		case seen[l.Not()]:
+			return true // tautology
+		case seen[l]:
+			continue
+		case s.value(l) == lTrue:
+			return true // already satisfied at root
+		case s.value(l) == lFalse:
+			continue // drop root-false literal
+		default:
+			seen[l] = true
+			norm = append(norm, l)
+		}
+	}
+	switch len(norm) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(norm[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Solver) watchClause(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, reason *clause) {
+	vd := &s.vars[l.Var()]
+	if l.Neg() {
+		vd.assign = lFalse
+	} else {
+		vd.assign = lTrue
+	}
+	vd.polarity = !l.Neg()
+	vd.level = int32(len(s.trailLim))
+	vd.reason = reason
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if conflict != nil {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, c)
+			}
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.vars[v].assign = lUndef
+		s.vars[v].reason = nil
+		if s.vars[v].heapIdx < 0 {
+			s.heapInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	c := conflict
+	for {
+		start := 0
+		if p != 0 {
+			start = 1 // skip the asserting literal of the reason clause
+		}
+		s.bumpClause(c)
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.vars[v].level == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.vars[v].level) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.vars[v].reason
+	}
+	learnt[0] = p.Not()
+
+	// Minimize: drop literals implied by the rest of the clause. Collect
+	// the full literal set first so the seen array can be cleared even for
+	// literals the minimization removes.
+	toClear := append([]Lit(nil), learnt[1:]...)
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	learnt = out
+
+	// Compute backjump level: max level among non-asserting literals.
+	bt := 0
+	for i := 1; i < len(learnt); i++ {
+		if lvl := int(s.vars[learnt[i].Var()].level); lvl > bt {
+			bt = lvl
+			// Move the deepest literal to position 1 so it is watched.
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+	for _, q := range toClear {
+		s.seen[q.Var()] = false
+	}
+	return learnt, bt
+}
+
+// redundant reports whether literal q's reason chain is entirely within
+// already-seen literals (simple recursive clause minimization).
+func (s *Solver) redundant(q Lit) bool {
+	r := s.vars[q.Var()].reason
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits[1:] {
+		v := l.Var()
+		if s.vars[v].level == 0 || s.seen[v] {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.vars[v].activity += s.varInc
+	if s.vars[v].activity > 1e100 {
+		for i := 1; i < len(s.vars); i++ {
+			s.vars[i].activity *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.vars[v].heapIdx >= 0 {
+		s.heapUp(s.vars[v].heapIdx)
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+// pickBranchVar pops the highest-activity unassigned variable.
+func (s *Solver) pickBranchVar() int {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.vars[v].assign == lUndef {
+			return int(v)
+		}
+	}
+	return 0
+}
+
+// luby computes the Luby restart sequence term for index i (1-based):
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			i -= (1 << uint(k-1)) - 1
+			k = 0
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment under the given assumptions.
+// It returns true with nil error when satisfiable, false with nil error when
+// unsatisfiable, and false with ErrBudget when MaxConflicts was exceeded.
+func (s *Solver) Solve(assumptions ...Lit) (bool, error) {
+	if !s.ok {
+		return false, nil
+	}
+	s.assumps = assumptions
+	defer s.cancelUntil(0)
+
+	var restarts int64
+	conflictsAtStart := s.stats.Conflicts
+	for {
+		budget := 100 * luby(restarts+1)
+		status, err := s.search(budget)
+		if err != nil {
+			return false, err
+		}
+		if status != lUndef {
+			return status == lTrue, nil
+		}
+		restarts++
+		s.stats.Restarts++
+		if s.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart >= s.MaxConflicts {
+			return false, ErrBudget
+		}
+	}
+}
+
+// search runs CDCL until a result, restart budget exhaustion, or conflict
+// budget exhaustion.
+func (s *Solver) search(budget int64) (lbool, error) {
+	var conflicts int64
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return lFalse, nil
+			}
+			learnt, bt := s.analyze(conflict)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.watchClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if len(s.learnts) > 4000+len(s.clauses) {
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflicts >= budget {
+			s.cancelUntil(s.rootLevel())
+			return lUndef, nil
+		}
+		// Assumption handling and decision.
+		next := Lit(0)
+		for s.decisionLevel() < len(s.assumps) {
+			a := s.assumps[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.newDecisionLevel() // already satisfied; dummy level
+				continue
+			case lFalse:
+				return lFalse, nil // conflicting assumption
+			default:
+				next = a
+			}
+			break
+		}
+		if next == 0 {
+			v := s.pickBranchVar()
+			if v == 0 {
+				s.snapshotModel()
+				return lTrue, nil // all variables assigned
+			}
+			s.stats.Decisions++
+			next = NewLit(v, !s.vars[v].polarity)
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) rootLevel() int {
+	if len(s.assumps) < s.decisionLevel() {
+		return len(s.assumps)
+	}
+	return s.decisionLevel()
+}
+
+// reduceDB removes the less active half of the learnt clauses (keeping those
+// currently acting as reasons).
+func (s *Solver) reduceDB() {
+	// Partial selection: find median activity by sampling is overkill at
+	// this scale; sort-free threshold via mean works adequately.
+	var sum float64
+	for _, c := range s.learnts {
+		sum += c.activity
+	}
+	threshold := sum / float64(len(s.learnts))
+	locked := map[*clause]bool{}
+	for i := 1; i < len(s.vars); i++ {
+		if r := s.vars[i].reason; r != nil {
+			locked[r] = true
+		}
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if locked[c] || c.activity >= threshold || len(c.lits) == 2 {
+			kept = append(kept, c)
+		} else {
+			s.detachClause(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detachClause(c *clause) {
+	for _, watchedNot := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[watchedNot]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[watchedNot] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve, indexed by variable (entry 0 unused). It remains valid until the
+// next Solve call.
+func (s *Solver) Model() []bool {
+	return s.model
+}
+
+// snapshotModel records the current full assignment as the model.
+func (s *Solver) snapshotModel() {
+	if cap(s.model) < len(s.vars) {
+		s.model = make([]bool, len(s.vars))
+	}
+	s.model = s.model[:len(s.vars)]
+	for v := 1; v < len(s.vars); v++ {
+		s.model[v] = s.vars[v].assign == lTrue
+	}
+}
+
+// --- binary max-heap keyed by variable activity ---
+
+func (s *Solver) heapLess(a, b int32) bool {
+	return s.vars[a].activity > s.vars[b].activity
+}
+
+func (s *Solver) heapInsert(v int32) {
+	s.vars[v].heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(s.vars[v].heapIdx)
+}
+
+func (s *Solver) heapUp(i int32) {
+	v := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(v, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.vars[s.heap[i]].heapIdx = i
+		i = parent
+	}
+	s.heap[i] = v
+	s.vars[v].heapIdx = i
+}
+
+func (s *Solver) heapDown(i int32) {
+	v := s.heap[i]
+	n := int32(len(s.heap))
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if child+1 < n && s.heapLess(s.heap[child+1], s.heap[child]) {
+			child++
+		}
+		if !s.heapLess(s.heap[child], v) {
+			break
+		}
+		s.heap[i] = s.heap[child]
+		s.vars[s.heap[i]].heapIdx = i
+		i = child
+	}
+	s.heap[i] = v
+	s.vars[v].heapIdx = i
+}
+
+func (s *Solver) heapPop() int32 {
+	v := s.heap[0]
+	s.vars[v].heapIdx = -1
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.vars[last].heapIdx = 0
+		s.heapDown(0)
+	}
+	return v
+}

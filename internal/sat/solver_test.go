@@ -1,0 +1,352 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lit(v int) Lit  { return NewLit(v, false) }
+func nlit(v int) Lit { return NewLit(v, true) }
+
+func newVars(s *Solver, n int) {
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+}
+
+func mustSolve(t *testing.T, s *Solver, assumptions ...Lit) bool {
+	t.Helper()
+	ok, err := s.Solve(assumptions...)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return ok
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := NewLit(3, false)
+	if l.Var() != 3 || l.Neg() {
+		t.Fatalf("positive literal wrong: %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 3 || !n.Neg() {
+		t.Fatalf("negated literal wrong: %v", n)
+	}
+	if n.Not() != l {
+		t.Fatal("double negation not identity")
+	}
+	if l.String() != "v3" || n.String() != "¬v3" {
+		t.Fatalf("String: %q %q", l.String(), n.String())
+	}
+}
+
+func TestTrivialSAT(t *testing.T) {
+	s := New()
+	newVars(s, 2)
+	s.AddClause(lit(1), lit(2))
+	if !mustSolve(t, s) {
+		t.Fatal("trivially satisfiable formula reported UNSAT")
+	}
+	m := s.Model()
+	if !m[1] && !m[2] {
+		t.Fatalf("model does not satisfy clause: %v", m)
+	}
+}
+
+func TestTrivialUNSAT(t *testing.T) {
+	s := New()
+	newVars(s, 1)
+	s.AddClause(lit(1))
+	if !s.AddClause(nlit(1)) {
+		// AddClause may already detect the contradiction.
+		return
+	}
+	if mustSolve(t, s) {
+		t.Fatal("contradiction reported SAT")
+	}
+}
+
+func TestEmptyClauseUNSAT(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause accepted")
+	}
+	if mustSolve(t, s) {
+		t.Fatal("solver SAT after empty clause")
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	s := New()
+	newVars(s, 5)
+	s.AddClause(lit(1))
+	s.AddClause(nlit(1), lit(2))
+	s.AddClause(nlit(2), lit(3))
+	s.AddClause(nlit(3), lit(4))
+	s.AddClause(nlit(4), lit(5))
+	if !mustSolve(t, s) {
+		t.Fatal("UNSAT")
+	}
+	m := s.Model()
+	for v := 1; v <= 5; v++ {
+		if !m[v] {
+			t.Errorf("v%d = false, want true", v)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: classic small UNSAT instance that requires real
+	// conflict analysis.
+	const pigeons, holes = 4, 3
+	s := New()
+	varOf := func(p, h int) int { return p*holes + h + 1 }
+	newVars(s, pigeons*holes)
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = lit(varOf(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(varOf(p1, h)), nlit(varOf(p2, h)))
+			}
+		}
+	}
+	if mustSolve(t, s) {
+		t.Fatal("pigeonhole(4,3) reported SAT")
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Error("expected conflicts during pigeonhole solving")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	newVars(s, 3)
+	s.AddClause(lit(1), lit(2))
+	s.AddClause(nlit(1), lit(3))
+
+	if !mustSolve(t, s, lit(1)) {
+		t.Fatal("UNSAT under assumption v1")
+	}
+	if m := s.Model(); !m[1] || !m[3] {
+		t.Fatalf("model ignores assumption/implication: %v", m)
+	}
+	if !mustSolve(t, s, nlit(1)) {
+		t.Fatal("UNSAT under assumption ¬v1")
+	}
+	if m := s.Model(); m[1] || !m[2] {
+		t.Fatalf("model under ¬v1 wrong: %v", m)
+	}
+	// Solver must remain reusable after assumption solving.
+	if !mustSolve(t, s) {
+		t.Fatal("UNSAT with no assumptions")
+	}
+}
+
+func TestConflictingAssumptions(t *testing.T) {
+	s := New()
+	newVars(s, 2)
+	s.AddClause(nlit(1), nlit(2))
+	if mustSolve(t, s, lit(1), lit(2)) {
+		t.Fatal("SAT under mutually conflicting assumptions")
+	}
+	if !mustSolve(t, s, lit(1)) {
+		t.Fatal("UNSAT under single assumption")
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	newVars(s, 2)
+	if !s.AddClause(lit(1), nlit(1)) {
+		t.Fatal("tautology rejected")
+	}
+	if !s.AddClause(lit(2), lit(2)) {
+		t.Fatal("duplicate-literal clause rejected")
+	}
+	if !mustSolve(t, s) {
+		t.Fatal("UNSAT")
+	}
+	if !s.Model()[2] {
+		t.Fatal("v2 should be forced true")
+	}
+}
+
+func TestModelEnumerationWithBlockingClauses(t *testing.T) {
+	// x1 ∨ x2 over 2 vars has exactly 3 models.
+	s := New()
+	newVars(s, 2)
+	s.AddClause(lit(1), lit(2))
+	count := 0
+	for {
+		ok, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		if count > 4 {
+			t.Fatal("enumeration does not terminate")
+		}
+		m := s.Model()
+		block := make([]Lit, 0, 2)
+		for v := 1; v <= 2; v++ {
+			block = append(block, NewLit(v, m[v]))
+		}
+		s.AddClause(block...)
+	}
+	if count != 3 {
+		t.Fatalf("enumerated %d models, want 3", count)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard UNSAT instance with a tiny budget must return ErrBudget.
+	const pigeons, holes = 7, 6
+	s := New()
+	varOf := func(p, h int) int { return p*holes + h + 1 }
+	newVars(s, pigeons*holes)
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = lit(varOf(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(varOf(p1, h)), nlit(varOf(p2, h)))
+			}
+		}
+	}
+	s.MaxConflicts = 5
+	_, err := s.Solve()
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// bruteForceSAT decides satisfiability of the clause set by exhaustive
+// enumeration over n variables.
+func bruteForceSAT(n int, clauses [][]Lit) bool {
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				val := mask&(1<<uint(l.Var()-1)) != 0
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8) // 3..10 variables
+		numClauses := 1 + rng.Intn(40)
+		clauses := make([][]Lit, 0, numClauses)
+		for i := 0; i < numClauses; i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, 0, width)
+			for j := 0; j < width; j++ {
+				cl = append(cl, NewLit(1+rng.Intn(n), rng.Intn(2) == 0))
+			}
+			clauses = append(clauses, cl)
+		}
+		s := New()
+		newVars(s, n)
+		addOK := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				addOK = false
+				break
+			}
+		}
+		want := bruteForceSAT(n, clauses)
+		if !addOK {
+			return !want
+		}
+		got, err := s.Solve()
+		if err != nil {
+			return false
+		}
+		if got != want {
+			return false
+		}
+		if got {
+			// Verify the model actually satisfies every clause.
+			m := s.Model()
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					if m[l.Var()] != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New()
+	newVars(s, 3)
+	s.AddClause(lit(1), lit(2), lit(3))
+	mustSolve(t, s)
+	if s.Stats().Decisions == 0 {
+		t.Error("no decisions recorded")
+	}
+}
+
+func TestSolverReuseAcrossManyCalls(t *testing.T) {
+	s := New()
+	newVars(s, 6)
+	s.AddClause(lit(1), lit(2))
+	s.AddClause(nlit(2), lit(3))
+	for i := 0; i < 50; i++ {
+		a := NewLit(1+i%6, i%2 == 0)
+		if _, err := s.Solve(a); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package suites
+
+import (
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// Cambridge returns the reconstructed Power/ARM summary suite of Sarkar et
+// al. (§6.2's "Cambridge" baseline): the canonical relaxed-memory shapes
+// with the fence/dependency strengthenings required to forbid them under
+// the Power model. Entries with nil Forbidden are the unfenced variants
+// whose relaxed outcomes Power allows (they document observable behavior).
+func Cambridge() []BaselineTest {
+	var out []BaselineTest
+	add := func(name string, t *litmus.Test, rf map[int]int, co map[int][]int) {
+		var x *exec.Execution
+		if rf != nil || co != nil {
+			x = mkExec(t, rf, co)
+		}
+		out = append(out, BaselineTest{Name: name, Test: t, Forbidden: x})
+	}
+	R, W, F := litmus.R, litmus.W, litmus.F
+	lw, sync, isync := litmus.FLwSync, litmus.FSync, litmus.FISync
+	addr, data, ctrl := litmus.DepAddr, litmus.DepData, litmus.DepCtrl
+
+	// --- MP family ---
+	add("MP", litmus.New("MP", [][]litmus.Op{
+		{W(0), W(1)}, {R(1), R(0)},
+	}), nil, nil) // observable on Power
+	add("MP+lwsync+addr", litmus.New("MP+lwsync+addr", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{R(1), R(0)},
+	}, litmus.WithDep(1, 0, 1, addr)),
+		map[int]int{3: 2, 4: -1}, nil)
+	add("MP+lwsync+data", litmus.New("MP+lwsync+data", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{R(1), W(2)},
+	}, litmus.WithDep(1, 0, 1, data)), nil, nil) // data dep to a store: different shape, observable reads aside
+	add("MP+lwsyncs", litmus.New("MP+lwsyncs", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{R(1), F(lw), R(0)},
+	}), map[int]int{3: 2, 5: -1}, nil)
+	add("MP+syncs", litmus.New("MP+syncs", [][]litmus.Op{
+		{W(0), F(sync), W(1)},
+		{R(1), F(sync), R(0)},
+	}), map[int]int{3: 2, 5: -1}, nil)
+	add("MP+lwsync+ctrl", litmus.New("MP+lwsync+ctrl", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{R(1), R(0)},
+	}, litmus.WithDep(1, 0, 1, ctrl)), nil, nil) // ctrl does not order R->R: observable
+	add("MP+lwsync+ctrlisync", litmus.New("MP+lwsync+ctrlisync", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{R(1), F(isync), R(0)},
+	}, litmus.WithDep(1, 0, 1, ctrl)),
+		map[int]int{3: 2, 5: -1}, nil)
+	// PPOAA as presented by the Cambridge suite: full sync on the writer
+	// side — forbidden, but not minimal (lwsync suffices; paper §6.2).
+	add("PPOAA", litmus.New("PPOAA", [][]litmus.Op{
+		{W(0), F(sync), W(1)},
+		{R(1), R(0)},
+	}, litmus.WithDep(1, 0, 1, addr)),
+		map[int]int{3: 2, 4: -1}, nil)
+	add("MP+sync+addr", litmus.New("MP+sync+addr", [][]litmus.Op{
+		{W(0), F(sync), W(1)},
+		{R(1), R(0)},
+	}, litmus.WithDep(1, 0, 1, addr)),
+		map[int]int{3: 2, 4: -1}, nil)
+	// PPOCA/PPOAA proper: reader chains through an intermediate store and
+	// an rfi read. Control into the store: observable; address: forbidden.
+	add("PPOCA", litmus.New("PPOCA", [][]litmus.Op{
+		{W(0), F(sync), W(1)},
+		{R(1), W(2), R(2), R(0)},
+	}, litmus.WithDep(1, 0, 1, ctrl), litmus.WithDep(1, 2, 3, addr)),
+		nil, nil) // observable on Power
+	add("PPOAA-rfi", litmus.New("PPOAA-rfi", [][]litmus.Op{
+		{W(0), F(sync), W(1)},
+		{R(1), W(2), R(2), R(0)},
+	}, litmus.WithDep(1, 0, 1, addr), litmus.WithDep(1, 2, 3, addr)),
+		map[int]int{3: 2, 5: 4, 6: -1}, nil)
+	// LB with control dependencies into the stores: forbidden (ctrl
+	// orders R->W on Power).
+	add("LB+ctrls", litmus.New("LB+ctrls", [][]litmus.Op{
+		{R(0), W(1)}, {R(1), W(0)},
+	}, litmus.WithDep(0, 0, 1, ctrl), litmus.WithDep(1, 0, 1, ctrl)),
+		map[int]int{0: 3, 2: 1}, nil)
+	add("WRC+lwsyncs", litmus.New("WRC+lwsyncs", [][]litmus.Op{
+		{W(0)}, {R(0), F(lw), W(1)}, {R(1), F(lw), R(0)},
+	}), map[int]int{1: 0, 4: 3, 6: -1}, nil)
+	add("R", litmus.New("R", [][]litmus.Op{
+		{W(0), W(1)},
+		{W(1), R(0)},
+	}), nil, nil) // observable without fences
+	add("S", litmus.New("S", [][]litmus.Op{
+		{W(0), W(1)},
+		{R(1), W(0)},
+	}), nil, nil) // observable without fences
+
+	// --- SB family ---
+	add("SB", litmus.New("SB", [][]litmus.Op{
+		{W(0), R(1)}, {W(1), R(0)},
+	}), nil, nil)
+	add("SB+syncs", litmus.New("SB+syncs", [][]litmus.Op{
+		{W(0), F(sync), R(1)},
+		{W(1), F(sync), R(0)},
+	}), map[int]int{2: -1, 5: -1}, nil)
+	add("SB+lwsyncs", litmus.New("SB+lwsyncs", [][]litmus.Op{
+		{W(0), F(lw), R(1)},
+		{W(1), F(lw), R(0)},
+	}), nil, nil) // lwsync does not order W->R: observable
+
+	// --- LB family ---
+	add("LB", litmus.New("LB", [][]litmus.Op{
+		{R(0), W(1)}, {R(1), W(0)},
+	}), nil, nil)
+	add("LB+datas", litmus.New("LB+datas", [][]litmus.Op{
+		{R(0), W(1)}, {R(1), W(0)},
+	}, litmus.WithDep(0, 0, 1, data), litmus.WithDep(1, 0, 1, data)),
+		map[int]int{0: 3, 2: 1}, nil)
+	add("LB+addrs", litmus.New("LB+addrs", [][]litmus.Op{
+		{R(0), W(1)}, {R(1), W(0)},
+	}, litmus.WithDep(0, 0, 1, addr), litmus.WithDep(1, 0, 1, addr)),
+		map[int]int{0: 3, 2: 1}, nil)
+
+	// --- WRC family ---
+	add("WRC", litmus.New("WRC", [][]litmus.Op{
+		{W(0)}, {R(0), W(1)}, {R(1), R(0)},
+	}), nil, nil)
+	add("WRC+data+addr", litmus.New("WRC+data+addr", [][]litmus.Op{
+		{W(0)}, {R(0), W(1)}, {R(1), R(0)},
+	}, litmus.WithDep(1, 0, 1, data), litmus.WithDep(2, 0, 1, addr)),
+		nil, nil) // dependencies are not cumulative: observable on Power
+	add("WRC+lwsync+addr", litmus.New("WRC+lwsync+addr", [][]litmus.Op{
+		{W(0)}, {R(0), F(lw), W(1)}, {R(1), R(0)},
+	}, litmus.WithDep(2, 0, 1, addr)),
+		map[int]int{1: 0, 4: 3, 5: -1}, nil)
+	add("WRC+sync+addr", litmus.New("WRC+sync+addr", [][]litmus.Op{
+		{W(0)}, {R(0), F(sync), W(1)}, {R(1), R(0)},
+	}, litmus.WithDep(2, 0, 1, addr)),
+		map[int]int{1: 0, 4: 3, 5: -1}, nil)
+
+	// --- IRIW family ---
+	add("IRIW", litmus.New("IRIW", [][]litmus.Op{
+		{W(0)}, {W(1)}, {R(0), R(1)}, {R(1), R(0)},
+	}), nil, nil)
+	add("IRIW+addrs", litmus.New("IRIW+addrs", [][]litmus.Op{
+		{W(0)}, {W(1)}, {R(0), R(1)}, {R(1), R(0)},
+	}, litmus.WithDep(2, 0, 1, addr), litmus.WithDep(3, 0, 1, addr)),
+		nil, nil) // observable: dependencies do not restore IRIW
+	add("IRIW+syncs", litmus.New("IRIW+syncs", [][]litmus.Op{
+		{W(0)}, {W(1)},
+		{R(0), F(sync), R(1)},
+		{R(1), F(sync), R(0)},
+	}), map[int]int{2: 0, 4: -1, 5: 1, 7: -1}, nil)
+	add("IRIW+lwsyncs", litmus.New("IRIW+lwsyncs", [][]litmus.Op{
+		{W(0)}, {W(1)},
+		{R(0), F(lw), R(1)},
+		{R(1), F(lw), R(0)},
+	}), nil, nil) // famously observable
+
+	// --- S / R / 2+2W / WWC / RWC ---
+	// S: outcome r(y)=1 with T1's store to x coherence-before T0's.
+	add("S+lwsync+data", litmus.New("S+lwsync+data", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{R(1), W(0)},
+	}, litmus.WithDep(1, 0, 1, data)),
+		map[int]int{3: 2}, map[int][]int{0: {4, 0}})
+	add("R+syncs", litmus.New("R+syncs", [][]litmus.Op{
+		{W(0), F(sync), W(1)},
+		{W(1), F(sync), R(0)},
+	}), map[int]int{5: -1}, map[int][]int{1: {2, 3}})
+	add("2+2W", litmus.New("2+2W", [][]litmus.Op{
+		{W(0), W(1)}, {W(1), W(0)},
+	}), nil, nil)
+	add("2+2W+lwsyncs", litmus.New("2+2W+lwsyncs", [][]litmus.Op{
+		{W(0), F(lw), W(1)},
+		{W(1), F(lw), W(0)},
+	}), nil, map[int][]int{0: {5, 0}, 1: {2, 3}})
+	add("WWC", litmus.New("WWC", [][]litmus.Op{
+		{W(0)},
+		{R(0), W(1)},
+		{R(1), W(0)},
+	}), nil, nil) // plain WWC observable
+	add("WWC+data+addr", litmus.New("WWC+data+addr", [][]litmus.Op{
+		{W(0)},
+		{R(0), W(1)},
+		{R(1), W(0)},
+	}, litmus.WithDep(1, 0, 1, data), litmus.WithDep(2, 0, 1, addr)),
+		nil, nil) // dependencies are not cumulative: observable on Power
+	add("WWC+lwsync+addr", litmus.New("WWC+lwsync+addr", [][]litmus.Op{
+		{W(0)},
+		{R(0), F(lw), W(1)},
+		{R(1), W(0)},
+	}, litmus.WithDep(2, 0, 1, addr)),
+		map[int]int{1: 0, 4: 3}, map[int][]int{0: {5, 0}})
+	add("RWC+syncs", litmus.New("RWC+syncs", [][]litmus.Op{
+		{W(0)},
+		{R(0), F(sync), R(1)},
+		{W(1), F(sync), R(0)},
+	}), map[int]int{1: 0, 3: -1, 6: -1}, nil)
+
+	// --- coherence ---
+	add("CoRR", litmus.New("CoRR", [][]litmus.Op{
+		{W(0)}, {R(0), R(0)},
+	}), map[int]int{1: 0, 2: -1}, nil)
+	add("CoWW", litmus.New("CoWW", [][]litmus.Op{
+		{W(0), W(0)},
+	}), nil, map[int][]int{0: {1, 0}})
+
+	return out
+}
+
+// CambridgeForbidden returns only the entries that specify forbidden
+// outcomes.
+func CambridgeForbidden() []BaselineTest {
+	var out []BaselineTest
+	for _, bt := range Cambridge() {
+		if bt.Forbidden != nil {
+			out = append(out, bt)
+		}
+	}
+	return out
+}

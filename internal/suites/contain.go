@@ -1,0 +1,227 @@
+package suites
+
+import (
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// Contains reports whether the (test, execution) pair small embeds into the
+// pair big as a subtest (paper Fig. 10): an injective mapping of small's
+// events into big's events that
+//
+//   - maps distinct threads to distinct threads, preserving program order
+//     within each thread,
+//   - preserves instruction kind, memory order, fence kind, and scope,
+//   - preserves the address-equality pattern (same address iff same
+//     address),
+//   - preserves dependency edges and RMW pairing, and
+//   - agrees with big's execution: a mapped read's rf source is the image
+//     of small's rf source (or both read the initial value, with no
+//     unmapped intervening write in big's coherence order being read), and
+//     mapped writes appear in the same relative coherence order.
+func Contains(big, small *exec.Execution) bool {
+	bt, st := big.Test, small.Test
+	if st.NumEvents() > bt.NumEvents() || st.NumThreads() > bt.NumThreads() {
+		return false
+	}
+	// threadMap[i] = thread of big that small's thread i maps to (-1 unset).
+	threadMap := make([]int, st.NumThreads())
+	threadUsed := make([]bool, bt.NumThreads())
+	eventMap := make([]int, st.NumEvents())
+	for i := range threadMap {
+		threadMap[i] = -1
+	}
+	for i := range eventMap {
+		eventMap[i] = -1
+	}
+	addrMap := map[int]int{}
+	addrUsed := map[int]bool{}
+
+	smallThreads := make([][]int, st.NumThreads())
+	for th := range smallThreads {
+		smallThreads[th] = st.Thread(th)
+	}
+
+	var matchThread func(th int) bool
+
+	// matchEvents maps smallThreads[th][i:] into big thread bth starting at
+	// big position bi.
+	var matchEvents func(th int, ids []int, bth int, bpos []int, bi int) bool
+	matchEvents = func(th int, ids []int, bth int, bpos []int, bi int) bool {
+		if len(ids) == 0 {
+			return matchThread(th + 1)
+		}
+		se := st.Events[ids[0]]
+		for j := bi; j < len(bpos); j++ {
+			be := bt.Events[bpos[j]]
+			if !eventCompatible(se, be) {
+				continue
+			}
+			// Address pattern.
+			var savedAddr, savedUsed bool
+			if se.Addr >= 0 {
+				mapped, ok := addrMap[se.Addr]
+				if ok {
+					if mapped != be.Addr {
+						continue
+					}
+				} else {
+					if addrUsed[be.Addr] {
+						continue
+					}
+					addrMap[se.Addr] = be.Addr
+					addrUsed[be.Addr] = true
+					savedAddr, savedUsed = true, true
+				}
+			}
+			eventMap[ids[0]] = bpos[j]
+			if matchEvents(th, ids[1:], bth, bpos, j+1) {
+				return true
+			}
+			eventMap[ids[0]] = -1
+			if savedAddr {
+				delete(addrMap, se.Addr)
+			}
+			if savedUsed {
+				delete(addrUsed, be.Addr)
+			}
+		}
+		return false
+	}
+
+	matchThread = func(th int) bool {
+		if th == st.NumThreads() {
+			return structureMatches(bt, st, eventMap) && executionMatches(big, small, eventMap)
+		}
+		for bth := 0; bth < bt.NumThreads(); bth++ {
+			if threadUsed[bth] {
+				continue
+			}
+			threadMap[th] = bth
+			threadUsed[bth] = true
+			if matchEvents(th, smallThreads[th], bth, bt.Thread(bth), 0) {
+				return true
+			}
+			threadMap[th] = -1
+			threadUsed[bth] = false
+		}
+		return false
+	}
+
+	return matchThread(0)
+}
+
+func eventCompatible(se, be litmus.Event) bool {
+	return se.Kind == be.Kind &&
+		se.Order == be.Order &&
+		se.Fence == be.Fence &&
+		se.Scope == be.Scope
+}
+
+// structureMatches checks dependency and RMW preservation under eventMap.
+func structureMatches(bt, st *litmus.Test, eventMap []int) bool {
+	hasDep := func(t *litmus.Test, from, to int, typ litmus.DepType) bool {
+		for _, d := range t.Deps {
+			if d.From == from && d.To == to && d.Type == typ {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range st.Deps {
+		if !hasDep(bt, eventMap[d.From], eventMap[d.To], d.Type) {
+			return false
+		}
+	}
+	hasRMW := func(t *litmus.Test, r, w int) bool {
+		for _, p := range t.RMW {
+			if p[0] == r && p[1] == w {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range st.RMW {
+		if !hasRMW(bt, eventMap[p[0]], eventMap[p[1]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// executionMatches checks that big's execution restricted to the image of
+// eventMap realizes small's execution.
+func executionMatches(big, small *exec.Execution, eventMap []int) bool {
+	st := small.Test
+	inImage := make(map[int]bool, len(eventMap))
+	for _, b := range eventMap {
+		inImage[b] = true
+	}
+	// rf agreement.
+	for _, se := range st.Events {
+		if se.Kind != litmus.KRead {
+			continue
+		}
+		bigRead := eventMap[se.ID]
+		srcSmall := small.RF[se.ID]
+		srcBig := big.RF[bigRead]
+		if srcSmall >= 0 {
+			if srcBig < 0 || eventMap[srcSmall] != srcBig {
+				return false
+			}
+		} else {
+			// Small reads the initial value; big's read must not observe
+			// a mapped write (reading an unmapped write or the initial
+			// value both restrict to "some other value" — we require the
+			// stricter condition that it reads initial or an unmapped
+			// write).
+			if srcBig >= 0 && inImage[srcBig] {
+				return false
+			}
+		}
+	}
+	// Relative coherence order of mapped writes.
+	for _, ws := range small.CO {
+		if len(ws) < 2 {
+			continue
+		}
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				if !coBefore(big, eventMap[ws[i]], eventMap[ws[j]]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// coBefore reports whether write w1 precedes write w2 in big's coherence
+// order (they are necessarily same-address under a valid embedding).
+func coBefore(big *exec.Execution, w1, w2 int) bool {
+	addr := big.Test.Events[w1].Addr
+	if addr >= len(big.CO) {
+		return false
+	}
+	seen1 := false
+	for _, w := range big.CO[addr] {
+		if w == w1 {
+			seen1 = true
+		}
+		if w == w2 {
+			return seen1
+		}
+	}
+	return false
+}
+
+// FindContained returns the first entry of candidates whose (test,
+// execution) pair embeds into big, or -1.
+func FindContained(big *exec.Execution, candidates []*exec.Execution) int {
+	for i, c := range candidates {
+		if Contains(big, c) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,293 @@
+package suites
+
+import (
+	"testing"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/minimal"
+)
+
+func TestOwensSuiteShape(t *testing.T) {
+	all := Owens()
+	if len(all) != 24 {
+		t.Errorf("Owens suite has %d tests, want 24", len(all))
+	}
+	forbidden := OwensForbidden()
+	if len(forbidden) != 15 {
+		t.Errorf("Owens suite has %d forbidden tests, want 15", len(forbidden))
+	}
+	for _, bt := range all {
+		if err := bt.Test.Validate(); err != nil {
+			t.Errorf("%s: %v", bt.Name, err)
+		}
+	}
+}
+
+// TestOwensForbiddenAreForbidden verifies each claimed-forbidden outcome is
+// actually forbidden by our TSO model — the consistency requirement that
+// makes the Table 4 comparison meaningful.
+func TestOwensForbiddenAreForbidden(t *testing.T) {
+	tso := memmodel.TSO()
+	for _, bt := range OwensForbidden() {
+		v := exec.NewView(bt.Forbidden, exec.NoPerturb)
+		if memmodel.Valid(tso, v) {
+			t.Errorf("%s: outcome %s is allowed under TSO", bt.Name, bt.Forbidden.OutcomeString())
+		}
+	}
+}
+
+// TestOwensAllowedAreAllowed verifies the allowed entries admit at least
+// one valid execution (sanity) and that the well-known relaxed outcomes are
+// indeed allowed.
+func TestOwensAllowedAreAllowed(t *testing.T) {
+	tso := memmodel.TSO()
+	for _, bt := range Owens() {
+		if bt.Forbidden != nil {
+			continue
+		}
+		valid := false
+		exec.Enumerate(bt.Test, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+			if memmodel.Valid(tso, exec.NewView(x, exec.NoPerturb)) {
+				valid = true
+				return false
+			}
+			return true
+		})
+		if !valid {
+			t.Errorf("%s: no valid execution at all", bt.Name)
+		}
+	}
+	// SB's relaxed outcome specifically.
+	var sb *BaselineTest
+	for i := range Owens() {
+		if Owens()[i].Name == "iwp2.1/amd1/SB" {
+			v := Owens()[i]
+			sb = &v
+		}
+	}
+	if sb == nil {
+		t.Fatal("SB missing from Owens suite")
+	}
+	seen := false
+	exec.Enumerate(sb.Test, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+		if x.ReadValue(1) == 0 && x.ReadValue(3) == 0 &&
+			memmodel.Valid(tso, exec.NewView(x, exec.NoPerturb)) {
+			seen = true
+			return false
+		}
+		return true
+	})
+	if !seen {
+		t.Error("SB relaxed outcome not allowed under TSO")
+	}
+}
+
+func TestCambridgeSuiteShape(t *testing.T) {
+	all := Cambridge()
+	if len(all) < 25 {
+		t.Errorf("Cambridge suite has %d tests, want >= 25", len(all))
+	}
+	for _, bt := range all {
+		if err := bt.Test.Validate(); err != nil {
+			t.Errorf("%s: %v", bt.Name, err)
+		}
+	}
+}
+
+func TestCambridgeForbiddenAreForbidden(t *testing.T) {
+	p := memmodel.Power()
+	for _, bt := range CambridgeForbidden() {
+		v := exec.NewView(bt.Forbidden, exec.NoPerturb)
+		if memmodel.Valid(p, v) {
+			t.Errorf("%s: outcome %s is allowed under Power", bt.Name, bt.Forbidden.OutcomeString())
+		}
+	}
+}
+
+// TestCambridgeObservableEntries: the entries documented as observable must
+// actually admit their relaxed outcome under Power.
+func TestCambridgeObservableEntries(t *testing.T) {
+	p := memmodel.Power()
+	observable := map[string]bool{
+		"MP": true, "SB": true, "LB": true, "IRIW": true,
+		"SB+lwsyncs": true, "IRIW+lwsyncs": true, "IRIW+addrs": true,
+		"MP+lwsync+ctrl": true, "2+2W": true, "WWC": true,
+		"PPOCA": true, "R": true, "S": true,
+	}
+	for _, bt := range Cambridge() {
+		if bt.Forbidden != nil || !observable[bt.Name] {
+			continue
+		}
+		// At least one invalid-under-SC but valid-under-Power execution
+		// exists (i.e. the test exhibits relaxed behavior).
+		sc := memmodel.SC()
+		found := false
+		exec.Enumerate(bt.Test, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+			v := exec.NewView(x, exec.NoPerturb)
+			if memmodel.Valid(p, v) && !memmodel.Valid(sc, v) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("%s: no relaxed-yet-allowed execution under Power", bt.Name)
+		}
+	}
+}
+
+// TestPPOAANotMinimal reproduces the paper's §6.2 finding: the Cambridge
+// PPOAA (with full sync) is forbidden but not minimal under Power.
+func TestPPOAANotMinimal(t *testing.T) {
+	p := memmodel.Power()
+	for _, bt := range CambridgeForbidden() {
+		if bt.Name != "PPOAA" {
+			continue
+		}
+		verdict := minimal.Check(p, memmodel.Applications(p, bt.Test), bt.Forbidden)
+		if len(verdict.ViolatedAxioms) == 0 {
+			t.Fatal("PPOAA outcome not forbidden")
+		}
+		if verdict.AllRelaxationsObservable {
+			t.Error("PPOAA reported minimal; sync should be demotable to lwsync")
+		}
+		return
+	}
+	t.Fatal("PPOAA not found")
+}
+
+func TestContainsMPInFencedMP(t *testing.T) {
+	var fenced, mp *BaselineTest
+	for i, bt := range Owens() {
+		b := Owens()[i]
+		switch bt.Name {
+		case "iwp2.8.b":
+			fenced = &b
+		case "MP":
+			mp = &b
+		}
+	}
+	if fenced == nil || mp == nil {
+		t.Fatal("suite entries missing")
+	}
+	if !Contains(fenced.Forbidden, mp.Forbidden) {
+		t.Error("fenced MP does not contain MP")
+	}
+	if Contains(mp.Forbidden, fenced.Forbidden) {
+		t.Error("MP contains fenced MP (impossible: fewer events)")
+	}
+}
+
+func TestContainsN5CoRW(t *testing.T) {
+	// Paper Fig. 10: n5/coLB contains CoRW.
+	var n5 *BaselineTest
+	for i, bt := range Owens() {
+		if bt.Name == "n5/coLB" {
+			b := Owens()[i]
+			n5 = &b
+		}
+	}
+	if n5 == nil {
+		t.Fatal("n5 missing")
+	}
+	corw := litmus.New("CoRW", [][]litmus.Op{
+		{W(0), R(0)},
+	})
+	// CoRW forbidden execution: the read observes an unmapped/other value
+	// in n5... use the single-thread W;R reading initial.
+	x := mkExec(corw, map[int]int{1: -1}, nil)
+	// n5's execution: thread 0 is Wx; Rx with the read observing thread
+	// 1's write — for the embedded CoWR-style test the read observes "not
+	// its own po-earlier store", which matches reading an unmapped write.
+	if !Contains(n5.Forbidden, x) {
+		t.Error("n5 does not contain the W;R coherence core")
+	}
+}
+
+func TestContainsIRIWInFencedIRIW(t *testing.T) {
+	var plain, fenced *BaselineTest
+	for i, bt := range Owens() {
+		b := Owens()[i]
+		switch bt.Name {
+		case "amd6/IRIW":
+			plain = &b
+		case "iwp2.7/amd7":
+			fenced = &b
+		}
+	}
+	if plain == nil || fenced == nil {
+		t.Fatal("IRIW entries missing")
+	}
+	if !Contains(fenced.Forbidden, plain.Forbidden) {
+		t.Error("IRIW+mfences does not contain IRIW")
+	}
+}
+
+func TestContainsNegative(t *testing.T) {
+	var mp, lb *BaselineTest
+	for i, bt := range Owens() {
+		b := Owens()[i]
+		switch bt.Name {
+		case "MP":
+			mp = &b
+		case "LB":
+			lb = &b
+		}
+	}
+	if Contains(mp.Forbidden, lb.Forbidden) || Contains(lb.Forbidden, mp.Forbidden) {
+		t.Error("MP and LB should not contain each other")
+	}
+}
+
+func TestContainsRespectsAnnotations(t *testing.T) {
+	relacq := litmus.New("MP+ra", [][]litmus.Op{
+		{W(0), litmus.Wrel(1)},
+		{litmus.Racq(1), R(0)},
+	})
+	plain := litmus.New("MP", [][]litmus.Op{
+		{W(0), W(1)},
+		{R(1), R(0)},
+	})
+	xr := mkExec(relacq, map[int]int{2: 1, 3: -1}, nil)
+	xp := mkExec(plain, map[int]int{2: 1, 3: -1}, nil)
+	if Contains(xr, xp) {
+		t.Error("annotated MP contains plain MP (annotations must match exactly)")
+	}
+}
+
+func TestContainsSelf(t *testing.T) {
+	for _, bt := range OwensForbidden() {
+		if !Contains(bt.Forbidden, bt.Forbidden) {
+			t.Errorf("%s does not contain itself", bt.Name)
+		}
+	}
+}
+
+func TestFindContained(t *testing.T) {
+	var fenced, mp, lb *BaselineTest
+	for i, bt := range Owens() {
+		b := Owens()[i]
+		switch bt.Name {
+		case "iwp2.8.b":
+			fenced = &b
+		case "MP":
+			mp = &b
+		case "LB":
+			lb = &b
+		}
+	}
+	idx := FindContained(fenced.Forbidden, []*exec.Execution{lb.Forbidden, mp.Forbidden})
+	if idx != 1 {
+		t.Errorf("FindContained = %d, want 1 (MP)", idx)
+	}
+	if FindContained(mp.Forbidden, []*exec.Execution{lb.Forbidden}) != -1 {
+		t.Error("FindContained found spurious embedding")
+	}
+}
+
+var (
+	R = litmus.R
+	W = litmus.W
+)

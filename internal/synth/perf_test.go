@@ -1,0 +1,29 @@
+package synth
+
+import (
+	"testing"
+
+	"memsynth/internal/memmodel"
+)
+
+func TestPerfProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf probe")
+	}
+	for _, tc := range []struct {
+		m     memmodel.Model
+		bound int
+	}{
+		{memmodel.TSO(), 6},
+		{memmodel.Power(), 4},
+		{memmodel.SCC(), 4},
+	} {
+		res := Synthesize(tc.m, Options{MaxEvents: tc.bound})
+		t.Logf("%s@%d: raw=%d progs=%d execs=%d union=%d elapsed=%v",
+			tc.m.Name(), tc.bound, res.Stats.ProgramsRaw, res.Stats.Programs,
+			res.Stats.Executions, len(res.Union.Entries), res.Stats.Elapsed)
+		for _, name := range res.AxiomNames() {
+			t.Logf("  %s: %d", name, len(res.PerAxiom[name].Entries))
+		}
+	}
+}

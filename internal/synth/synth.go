@@ -1,0 +1,316 @@
+// Package synth implements the paper's synthesis methodology (§5): it
+// exhaustively enumerates litmus tests up to a size bound over a memory
+// model's instruction vocabulary, enumerates each test's candidate
+// executions, applies the minimality criterion of package minimal, and
+// collects one canonical representative of every symmetry class into
+// per-axiom suites plus a per-model union suite.
+//
+// Synthesis can fan program processing out over worker goroutines
+// (Options.Workers) — an extension addressing the super-exponential
+// runtimes the paper reports (§7); results are identical to the sequential
+// run (suites are canonical sets, sorted deterministically).
+package synth
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"memsynth/internal/canon"
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/minimal"
+)
+
+// Options bounds the synthesis search space.
+type Options struct {
+	// MinEvents and MaxEvents bound the instruction count (inclusive).
+	// MinEvents defaults to 2.
+	MinEvents, MaxEvents int
+	// MaxThreads bounds the thread count (default 4).
+	MaxThreads int
+	// MaxAddrs bounds the number of distinct memory locations (default 3).
+	MaxAddrs int
+	// MaxDeps bounds the number of explicit dependency edges (default 2).
+	MaxDeps int
+	// MaxRMWs bounds the number of RMW pairs (default 1).
+	MaxRMWs int
+	// Workers fans the per-program work out over this many goroutines
+	// (default 1 = sequential).
+	Workers int
+	// CountForbidden additionally counts all distinct forbidden
+	// (program, outcome) pairs — the "All Progs" line of paper Fig. 13a.
+	// It is off by default because canonicalizing every forbidden
+	// execution is expensive.
+	CountForbidden bool
+	// KeepTrivialFences disables the always-sound pruning of programs
+	// with a fence as the first or last instruction of a thread (such a
+	// fence orders nothing, so the test cannot be minimal).
+	KeepTrivialFences bool
+	// KeepIsolatedAddrs disables the pruning of programs containing an
+	// address accessed only once or never written. This pruning is only
+	// applied for models without syntactic dependencies (where such an
+	// access cannot be load-bearing); dependency-based models such as
+	// Power keep these programs regardless (e.g. lb+addrs+ww needs them).
+	KeepIsolatedAddrs bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinEvents == 0 {
+		o.MinEvents = 2
+	}
+	if o.MaxThreads == 0 {
+		o.MaxThreads = 4
+	}
+	if o.MaxAddrs == 0 {
+		o.MaxAddrs = 3
+	}
+	if o.MaxDeps == 0 {
+		o.MaxDeps = 2
+	}
+	if o.MaxRMWs == 0 {
+		o.MaxRMWs = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Entry is one synthesized litmus test: a program together with the
+// forbidden outcome (execution) that witnesses its minimality.
+type Entry struct {
+	Test *litmus.Test
+	Exec *exec.Execution
+	// Key is the canonical symmetry-class key of (Test, Exec).
+	Key string
+	// Size is the instruction count.
+	Size int
+}
+
+// Suite is a set of synthesized tests for one axiom (or the union).
+type Suite struct {
+	Model   string
+	Axiom   string // "union" for the union suite
+	Entries []Entry
+	keys    map[string]bool
+}
+
+func newSuite(model, axiom string) *Suite {
+	return &Suite{Model: model, Axiom: axiom, keys: make(map[string]bool)}
+}
+
+func (s *Suite) add(e Entry) bool {
+	if s.keys[e.Key] {
+		return false
+	}
+	s.keys[e.Key] = true
+	s.Entries = append(s.Entries, e)
+	return true
+}
+
+// sortEntries fixes a deterministic order (size, then canonical key).
+func (s *Suite) sortEntries() {
+	sort.Slice(s.Entries, func(i, j int) bool {
+		if s.Entries[i].Size != s.Entries[j].Size {
+			return s.Entries[i].Size < s.Entries[j].Size
+		}
+		return s.Entries[i].Key < s.Entries[j].Key
+	})
+}
+
+// Has reports whether the suite contains the symmetry class of key.
+func (s *Suite) Has(key string) bool { return s.keys[key] }
+
+// CountUpTo returns the number of entries with Size <= bound.
+func (s *Suite) CountUpTo(bound int) int {
+	n := 0
+	for _, e := range s.Entries {
+		if e.Size <= bound {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports synthesis work counters.
+type Stats struct {
+	// ProgramsRaw counts generated programs before symmetry dedupe.
+	ProgramsRaw int
+	// Programs counts distinct canonical programs whose executions were
+	// explored.
+	Programs int
+	// Executions counts candidate executions checked.
+	Executions int
+	// ForbiddenOutcomes counts distinct canonical forbidden
+	// (program, outcome) pairs (only when Options.CountForbidden).
+	ForbiddenOutcomes int
+	// Elapsed is the wall-clock synthesis time.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of one synthesis run.
+type Result struct {
+	Model    string
+	Options  Options
+	PerAxiom map[string]*Suite
+	Union    *Suite
+	Stats    Stats
+}
+
+// AxiomNames returns the axiom suite names in sorted order.
+func (r *Result) AxiomNames() []string {
+	var names []string
+	for name := range r.PerAxiom {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// progOutcome is the per-program result a worker reports back.
+type progOutcome struct {
+	executions    int
+	forbiddenKeys []string
+	found         []foundEntry
+}
+
+type foundEntry struct {
+	axioms []int
+	entry  Entry
+}
+
+// processProgram explores all executions of t and applies the minimality
+// criterion; it is safe to call from multiple goroutines.
+func processProgram(m memmodel.Model, opts Options, t *litmus.Test) progOutcome {
+	var out progOutcome
+	apps := memmodel.Applications(m, t)
+	// sc orders are quantified inside minimal.Check (they are auxiliary,
+	// not part of the outcome), so enumeration here covers rf and co only.
+	exec.Enumerate(t, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+		out.executions++
+		verdict := minimal.Check(m, apps, x)
+		if len(verdict.ViolatedAxioms) == 0 {
+			return true
+		}
+		var key string
+		if opts.CountForbidden {
+			key = canon.Key(x)
+			out.forbiddenKeys = append(out.forbiddenKeys, key)
+		}
+		mins := verdict.MinimalFor()
+		if len(mins) == 0 {
+			return true
+		}
+		if key == "" {
+			key = canon.Key(x)
+		}
+		out.found = append(out.found, foundEntry{
+			axioms: append([]int(nil), mins...),
+			entry:  Entry{Test: t, Exec: x.Clone(), Key: key, Size: len(t.Events)},
+		})
+		return true
+	})
+	return out
+}
+
+// Synthesize runs exhaustive minimal-test synthesis for model m under the
+// given bounds.
+func Synthesize(m memmodel.Model, opts Options) *Result {
+	opts = opts.withDefaults()
+	start := time.Now()
+	vocab := m.Vocab()
+
+	res := &Result{
+		Model:    m.Name(),
+		Options:  opts,
+		PerAxiom: make(map[string]*Suite),
+		Union:    newSuite(m.Name(), "union"),
+	}
+	axioms := m.Axioms()
+	for _, a := range axioms {
+		res.PerAxiom[a.Name] = newSuite(m.Name(), a.Name)
+	}
+
+	seenProg := make(map[string]bool)
+	var seenForbidden map[string]bool
+	if opts.CountForbidden {
+		seenForbidden = make(map[string]bool)
+	}
+
+	collect := func(out progOutcome) {
+		res.Stats.Executions += out.executions
+		for _, k := range out.forbiddenKeys {
+			seenForbidden[k] = true
+		}
+		for _, f := range out.found {
+			for _, ai := range f.axioms {
+				res.PerAxiom[axioms[ai].Name].add(f.entry)
+			}
+			res.Union.add(f.entry)
+		}
+	}
+
+	gen := &generator{vocab: vocab, opts: opts, pruneIsolated: !opts.KeepIsolatedAddrs && len(vocab.DepTypes) == 0}
+
+	if opts.Workers <= 1 {
+		for n := opts.MinEvents; n <= opts.MaxEvents; n++ {
+			gen.run(n, func(t *litmus.Test) {
+				res.Stats.ProgramsRaw++
+				progKey := canon.ProgramKey(t)
+				if seenProg[progKey] {
+					return
+				}
+				seenProg[progKey] = true
+				res.Stats.Programs++
+				collect(processProgram(m, opts, t))
+			})
+		}
+	} else {
+		// The workers compute canonical program keys, dedupe under a
+		// short critical section, do the heavy per-program exploration,
+		// and merge results under the same mutex. The producer only
+		// enumerates program skeletons.
+		progs := make(chan *litmus.Test, 4*opts.Workers)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range progs {
+					progKey := canon.ProgramKey(t)
+					mu.Lock()
+					if seenProg[progKey] {
+						mu.Unlock()
+						continue
+					}
+					seenProg[progKey] = true
+					res.Stats.Programs++
+					mu.Unlock()
+					out := processProgram(m, opts, t)
+					mu.Lock()
+					collect(out)
+					mu.Unlock()
+				}
+			}()
+		}
+		for n := opts.MinEvents; n <= opts.MaxEvents; n++ {
+			gen.run(n, func(t *litmus.Test) {
+				res.Stats.ProgramsRaw++
+				progs <- t
+			})
+		}
+		close(progs)
+		wg.Wait()
+	}
+
+	res.Union.sortEntries()
+	for _, s := range res.PerAxiom {
+		s.sortEntries()
+	}
+	res.Stats.ForbiddenOutcomes = len(seenForbidden)
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,164 @@
+package tsosim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsynth/internal/litmus"
+)
+
+func TestFaultStrings(t *testing.T) {
+	want := map[Fault]string{
+		FaultNone:          "none",
+		FaultIgnoreFence:   "ignore-fence",
+		FaultNonFIFOBuffer: "non-fifo-buffer",
+		FaultNoForwarding:  "no-forwarding",
+		FaultUnlockedRMW:   "unlocked-rmw",
+		FaultReadReorder:   "read-reorder",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if len(AllFaults()) != 5 {
+		t.Errorf("AllFaults = %d", len(AllFaults()))
+	}
+}
+
+func TestIgnoreFenceExposesSB(t *testing.T) {
+	sb := litmus.New("SB+mfences", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FMFence), litmus.R(1)},
+		{litmus.W(1), litmus.F(litmus.FMFence), litmus.R(0)},
+	})
+	out, err := RunFaulty(sb, FaultIgnoreFence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, o := range out {
+		if o.ReadsFrom[2] == -1 && o.ReadsFrom[5] == -1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("ignore-fence machine does not exhibit the SB relaxation")
+	}
+}
+
+func TestNonFIFOExposesCoWW(t *testing.T) {
+	coww := litmus.New("CoWW", [][]litmus.Op{{litmus.W(0), litmus.W(0)}})
+	out, err := RunFaulty(coww, FaultNonFIFOBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, o := range out {
+		if o.FinalWrite[0] == 0 { // program-first store wins: co inverted
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("non-FIFO machine never inverts same-address store order")
+	}
+}
+
+func TestNoForwardingExposesCoWR(t *testing.T) {
+	cowr := litmus.New("CoWR", [][]litmus.Op{{litmus.W(0), litmus.R(0)}})
+	out, err := RunFaulty(cowr, FaultNoForwarding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, o := range out {
+		if o.ReadsFrom[1] == -1 { // read misses the own buffered store
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("no-forwarding machine still forwards")
+	}
+}
+
+func TestUnlockedRMWExposesAtomicityViolation(t *testing.T) {
+	rmw := litmus.New("RMW+W", [][]litmus.Op{
+		{litmus.R(0), litmus.W(0)},
+		{litmus.W(0)},
+	}, litmus.WithRMW(0, 0))
+	out, err := RunFaulty(rmw, FaultUnlockedRMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, o := range out {
+		// Read saw initial, yet the external store is not the final value
+		// and not what the read saw: it slipped between read and write.
+		if o.ReadsFrom[0] == -1 && o.FinalWrite[0] == 1 {
+			// final = pair write; did the external store land in between?
+			// With co external-then-pair this is the atomicity violation.
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("unlocked RMW machine never lets a store intervene")
+	}
+}
+
+func TestReadReorderExposesMP(t *testing.T) {
+	mp := litmus.New("MP", [][]litmus.Op{
+		{litmus.W(0), litmus.W(1)},
+		{litmus.R(1), litmus.R(0)},
+	})
+	out, err := RunFaulty(mp, FaultReadReorder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, o := range out {
+		if o.ReadsFrom[2] == 1 && o.ReadsFrom[3] == -1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("read-reorder machine never exhibits the MP relaxation")
+	}
+	// The correct machine must not.
+	correct, err := Run(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range correct {
+		if o.ReadsFrom[2] == 1 && o.ReadsFrom[3] == -1 {
+			t.Error("correct machine exhibits the MP relaxation")
+		}
+	}
+}
+
+// TestQuickFaultsOnlyWeaken: every fault's outcome set is a superset of the
+// correct machine's — seeded bugs add behaviors, never remove them.
+func TestQuickFaultsOnlyWeaken(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := randomTSOTest(rand.New(rand.NewSource(seed)))
+		base, err := Run(lt)
+		if err != nil {
+			return false
+		}
+		for _, fault := range AllFaults() {
+			faulty, err := RunFaulty(lt, fault)
+			if err != nil {
+				return false
+			}
+			for k := range base {
+				if _, ok := faulty[k]; !ok {
+					t.Logf("fault %v removed outcome %s of %v", fault, k, lt)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

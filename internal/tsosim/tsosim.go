@@ -1,0 +1,240 @@
+// Package tsosim implements the operational x86-TSO abstract machine of
+// Owens et al. (2009): per-thread FIFO store buffers with store-to-load
+// forwarding, a fence that drains the issuing thread's buffer, and locked
+// read-modify-writes that execute against memory with an empty buffer.
+//
+// The simulator exhaustively explores every interleaving of instruction
+// steps and buffer drains and returns the set of observable outcomes. It
+// exists to cross-validate the axiomatic TSO model of package memmodel:
+// for any test over TSO's vocabulary the two must agree exactly — the
+// equivalence result the x86-TSO paper proves, checked here by testing.
+package tsosim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memsynth/internal/litmus"
+)
+
+// Outcome is one observable result of running a test: per-read source
+// write IDs (-1 for the initial value) and the final write per address (-1
+// if never written).
+type Outcome struct {
+	// ReadsFrom maps each event ID to its source write ID; entries for
+	// non-reads are -1.
+	ReadsFrom []int
+	// FinalWrite maps each address to the event ID of the last write.
+	FinalWrite []int
+}
+
+// Key returns a canonical string for set membership.
+func (o Outcome) Key() string {
+	var b strings.Builder
+	for _, r := range o.ReadsFrom {
+		fmt.Fprintf(&b, "%d,", r)
+	}
+	b.WriteByte('|')
+	for _, w := range o.FinalWrite {
+		fmt.Fprintf(&b, "%d,", w)
+	}
+	return b.String()
+}
+
+// bufferEntry is one pending store in a thread's store buffer.
+type bufferEntry struct {
+	addr    int
+	writeID int
+}
+
+// state is a machine configuration.
+type state struct {
+	pc      []int           // next instruction index per thread
+	buffers [][]bufferEntry // FIFO store buffer per thread
+	memory  []int           // write ID per address (-1 initial)
+	reads   []int           // source write per read event (-1 initial)
+	pending []int           // skipped load per thread (fault injection; nil when unused)
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		pc:     append([]int(nil), s.pc...),
+		memory: append([]int(nil), s.memory...),
+		reads:  append([]int(nil), s.reads...),
+	}
+	if s.pending != nil {
+		c.pending = append([]int(nil), s.pending...)
+	}
+	c.buffers = make([][]bufferEntry, len(s.buffers))
+	for i, b := range s.buffers {
+		c.buffers[i] = append([]bufferEntry(nil), b...)
+	}
+	return c
+}
+
+func (s *state) key() string {
+	var b strings.Builder
+	for _, p := range s.pc {
+		fmt.Fprintf(&b, "%d,", p)
+	}
+	b.WriteByte('|')
+	for _, buf := range s.buffers {
+		for _, e := range buf {
+			fmt.Fprintf(&b, "%d:%d,", e.addr, e.writeID)
+		}
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, m := range s.memory {
+		fmt.Fprintf(&b, "%d,", m)
+	}
+	b.WriteByte('|')
+	for _, r := range s.reads {
+		fmt.Fprintf(&b, "%d,", r)
+	}
+	if s.pending != nil {
+		b.WriteByte('|')
+		for _, p := range s.pending {
+			fmt.Fprintf(&b, "%d,", p)
+		}
+	}
+	return b.String()
+}
+
+// Run explores all interleavings of t on the x86-TSO machine and returns
+// the set of observable outcomes keyed by Outcome.Key. t may use plain
+// reads and writes, mfence, and adjacent RMW pairs; other vocabulary
+// returns an error.
+func Run(t *litmus.Test) (map[string]Outcome, error) {
+	for _, e := range t.Events {
+		switch e.Kind {
+		case litmus.KRead, litmus.KWrite:
+			if e.Order != litmus.OPlain {
+				return nil, fmt.Errorf("tsosim: event %d has non-TSO order %v", e.ID, e.Order)
+			}
+		case litmus.KFence:
+			if e.Fence != litmus.FMFence {
+				return nil, fmt.Errorf("tsosim: event %d has non-TSO fence %v", e.ID, e.Fence)
+			}
+		}
+	}
+
+	numThreads := t.NumThreads()
+	threads := make([][]int, numThreads)
+	for th := 0; th < numThreads; th++ {
+		threads[th] = t.Thread(th)
+	}
+	isRMWRead := make([]bool, len(t.Events))
+	for _, p := range t.RMW {
+		isRMWRead[p[0]] = true
+	}
+
+	init := &state{
+		pc:      make([]int, numThreads),
+		buffers: make([][]bufferEntry, numThreads),
+		memory:  make([]int, t.NumAddrs()),
+		reads:   make([]int, len(t.Events)),
+	}
+	for i := range init.memory {
+		init.memory[i] = -1
+	}
+	for i := range init.reads {
+		init.reads[i] = -1
+	}
+
+	outcomes := make(map[string]Outcome)
+	visited := make(map[string]bool)
+
+	var explore func(s *state)
+	explore = func(s *state) {
+		k := s.key()
+		if visited[k] {
+			return
+		}
+		visited[k] = true
+
+		done := true
+		for th := 0; th < numThreads; th++ {
+			if s.pc[th] < len(threads[th]) || len(s.buffers[th]) > 0 {
+				done = false
+			}
+		}
+		if done {
+			o := Outcome{
+				ReadsFrom:  append([]int(nil), s.reads...),
+				FinalWrite: append([]int(nil), s.memory...),
+			}
+			outcomes[o.Key()] = o
+			return
+		}
+
+		for th := 0; th < numThreads; th++ {
+			// Drain the oldest buffered store to memory.
+			if len(s.buffers[th]) > 0 {
+				n := s.clone()
+				e := n.buffers[th][0]
+				n.buffers[th] = append([]bufferEntry(nil), n.buffers[th][1:]...)
+				n.memory[e.addr] = e.writeID
+				explore(n)
+			}
+			// Execute the next instruction.
+			if s.pc[th] >= len(threads[th]) {
+				continue
+			}
+			id := threads[th][s.pc[th]]
+			ev := t.Events[id]
+			switch {
+			case ev.Kind == litmus.KFence:
+				// mfence: only executable with an empty buffer.
+				if len(s.buffers[th]) == 0 {
+					n := s.clone()
+					n.pc[th]++
+					explore(n)
+				}
+			case isRMWRead[id]:
+				// Locked RMW: buffer must be empty; read and write hit
+				// memory atomically.
+				if len(s.buffers[th]) == 0 {
+					partner, _ := t.RMWPartner(id)
+					n := s.clone()
+					n.reads[id] = n.memory[ev.Addr]
+					n.memory[ev.Addr] = partner
+					n.pc[th] += 2
+					explore(n)
+				}
+			case ev.Kind == litmus.KRead:
+				n := s.clone()
+				// Store-to-load forwarding: newest buffered store to the
+				// address wins; otherwise memory.
+				src := n.memory[ev.Addr]
+				for i := len(n.buffers[th]) - 1; i >= 0; i-- {
+					if n.buffers[th][i].addr == ev.Addr {
+						src = n.buffers[th][i].writeID
+						break
+					}
+				}
+				n.reads[id] = src
+				n.pc[th]++
+				explore(n)
+			case ev.Kind == litmus.KWrite:
+				n := s.clone()
+				n.buffers[th] = append(n.buffers[th], bufferEntry{addr: ev.Addr, writeID: id})
+				n.pc[th]++
+				explore(n)
+			}
+		}
+	}
+	explore(init)
+	return outcomes, nil
+}
+
+// Keys returns the sorted outcome keys — convenient for set comparison.
+func Keys(outcomes map[string]Outcome) []string {
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

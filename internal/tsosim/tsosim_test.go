@@ -1,0 +1,261 @@
+package tsosim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+)
+
+// axiomaticOutcomes projects the valid executions of t under the axiomatic
+// TSO model onto the simulator's outcome space.
+func axiomaticOutcomes(t *litmus.Test) map[string]Outcome {
+	tso := memmodel.TSO()
+	out := make(map[string]Outcome)
+	exec.Enumerate(t, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+		if !memmodel.Valid(tso, exec.NewView(x, exec.NoPerturb)) {
+			return true
+		}
+		o := Outcome{
+			ReadsFrom:  append([]int(nil), x.RF...),
+			FinalWrite: make([]int, t.NumAddrs()),
+		}
+		for a := 0; a < t.NumAddrs(); a++ {
+			o.FinalWrite[a] = -1
+			if a < len(x.CO) && len(x.CO[a]) > 0 {
+				o.FinalWrite[a] = x.CO[a][len(x.CO[a])-1]
+			}
+		}
+		out[o.Key()] = o
+		return true
+	})
+	return out
+}
+
+func sameOutcomes(a, b map[string]Outcome) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func mustRun(t *testing.T, lt *litmus.Test) map[string]Outcome {
+	t.Helper()
+	out, err := Run(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSBRelaxedOutcomeObservable(t *testing.T) {
+	sb := litmus.New("SB", [][]litmus.Op{
+		{litmus.W(0), litmus.R(1)},
+		{litmus.W(1), litmus.R(0)},
+	})
+	out := mustRun(t, sb)
+	// Both reads observing the initial value must be among the outcomes
+	// (the store-buffering relaxation).
+	found := false
+	for _, o := range out {
+		if o.ReadsFrom[1] == -1 && o.ReadsFrom[3] == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("SB relaxed outcome not observable on the machine")
+	}
+}
+
+func TestSBMFencesForbidden(t *testing.T) {
+	sb := litmus.New("SB+mfences", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FMFence), litmus.R(1)},
+		{litmus.W(1), litmus.F(litmus.FMFence), litmus.R(0)},
+	})
+	out := mustRun(t, sb)
+	for _, o := range out {
+		if o.ReadsFrom[2] == -1 && o.ReadsFrom[5] == -1 {
+			t.Error("SB+mfences relaxed outcome observable on the machine")
+		}
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	// A thread always sees its own buffered store.
+	fwd := litmus.New("fwd", [][]litmus.Op{
+		{litmus.W(0), litmus.R(0)},
+	})
+	out := mustRun(t, fwd)
+	for _, o := range out {
+		if o.ReadsFrom[1] != 0 {
+			t.Errorf("read observed %d, want own store 0", o.ReadsFrom[1])
+		}
+	}
+}
+
+func TestRMWAtomic(t *testing.T) {
+	// Two competing RMWs on one address: exactly one reads the initial
+	// value and the other reads the first one's write.
+	rmw2 := litmus.New("2rmw", [][]litmus.Op{
+		{litmus.R(0), litmus.W(0)},
+		{litmus.R(0), litmus.W(0)},
+	}, litmus.WithRMW(0, 0), litmus.WithRMW(1, 0))
+	out := mustRun(t, rmw2)
+	for _, o := range out {
+		r0, r1 := o.ReadsFrom[0], o.ReadsFrom[2]
+		ok := (r0 == -1 && r1 == 1) || (r1 == -1 && r0 == 3)
+		if !ok {
+			t.Errorf("non-atomic RMW interleaving: r0=%d r1=%d", r0, r1)
+		}
+	}
+	if len(out) != 2 {
+		t.Errorf("expected exactly 2 outcomes, got %d", len(out))
+	}
+}
+
+func TestRejectsNonTSOVocabulary(t *testing.T) {
+	bad := litmus.New("bad", [][]litmus.Op{{litmus.Racq(0)}})
+	if _, err := Run(bad); err == nil {
+		t.Error("acquire load accepted")
+	}
+	badF := litmus.New("badF", [][]litmus.Op{{litmus.W(0), litmus.F(litmus.FSync), litmus.W(1)}})
+	if _, err := Run(badF); err == nil {
+		t.Error("sync fence accepted")
+	}
+}
+
+// TestEquivalenceClassics: machine and axiomatic model agree on the
+// classic tests.
+func TestEquivalenceClassics(t *testing.T) {
+	mf := litmus.F(litmus.FMFence)
+	tests := []*litmus.Test{
+		litmus.New("MP", [][]litmus.Op{{litmus.W(0), litmus.W(1)}, {litmus.R(1), litmus.R(0)}}),
+		litmus.New("SB", [][]litmus.Op{{litmus.W(0), litmus.R(1)}, {litmus.W(1), litmus.R(0)}}),
+		litmus.New("LB", [][]litmus.Op{{litmus.R(0), litmus.W(1)}, {litmus.R(1), litmus.W(0)}}),
+		litmus.New("SB+mfences", [][]litmus.Op{
+			{litmus.W(0), mf, litmus.R(1)},
+			{litmus.W(1), mf, litmus.R(0)},
+		}),
+		litmus.New("IRIW", [][]litmus.Op{
+			{litmus.W(0)}, {litmus.W(1)},
+			{litmus.R(0), litmus.R(1)},
+			{litmus.R(1), litmus.R(0)},
+		}),
+		litmus.New("n5", [][]litmus.Op{
+			{litmus.W(0), litmus.R(0)},
+			{litmus.W(0), litmus.R(0)},
+		}),
+		litmus.New("RMW+W", [][]litmus.Op{
+			{litmus.R(0), litmus.W(0)},
+			{litmus.W(0)},
+		}, litmus.WithRMW(0, 0)),
+		litmus.New("2+2W", [][]litmus.Op{
+			{litmus.W(0), litmus.W(1)},
+			{litmus.W(1), litmus.W(0)},
+		}),
+	}
+	for _, lt := range tests {
+		op := mustRun(t, lt)
+		ax := axiomaticOutcomes(lt)
+		if !sameOutcomes(op, ax) {
+			t.Errorf("%s: machine %d outcomes, axiomatic %d outcomes", lt.Name, len(op), len(ax))
+			for k := range op {
+				if _, ok := ax[k]; !ok {
+					t.Logf("  machine-only: %s", k)
+				}
+			}
+			for k := range ax {
+				if _, ok := op[k]; !ok {
+					t.Logf("  axiomatic-only: %s", k)
+				}
+			}
+		}
+	}
+}
+
+// randomTSOTest draws a random small test over TSO's vocabulary.
+func randomTSOTest(rng *rand.Rand) *litmus.Test {
+	numThreads := 1 + rng.Intn(3)
+	var threads [][]litmus.Op
+	remaining := 6
+	var rmwOpts []litmus.Option
+	for th := 0; th < numThreads; th++ {
+		size := 1 + rng.Intn(3)
+		if size > remaining {
+			size = remaining
+		}
+		remaining -= size
+		var ops []litmus.Op
+		for i := 0; i < size; i++ {
+			addr := rng.Intn(2)
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				ops = append(ops, litmus.R(addr))
+			case 3, 4, 5:
+				ops = append(ops, litmus.W(addr))
+			case 6:
+				if i > 0 && i < size-1 {
+					ops = append(ops, litmus.F(litmus.FMFence))
+				} else {
+					ops = append(ops, litmus.R(addr))
+				}
+			case 7:
+				if i+1 < size {
+					ops = append(ops, litmus.R(addr), litmus.W(addr))
+					rmwOpts = append(rmwOpts, litmus.WithRMW(th, i))
+					i++
+				} else {
+					ops = append(ops, litmus.W(addr))
+				}
+			}
+		}
+		threads = append(threads, ops)
+	}
+	// Remap addresses to be contiguous.
+	remap := map[int]int{}
+	for th := range threads {
+		for i, op := range threads[th] {
+			if op.IsFence() {
+				continue
+			}
+			na, ok := remap[op.Addr()]
+			if !ok {
+				na = len(remap)
+				remap[op.Addr()] = na
+			}
+			threads[th][i] = op.WithAddr(na)
+		}
+	}
+	return litmus.New("rnd", threads, rmwOpts...)
+}
+
+// TestQuickEquivalence is the headline cross-validation: on random tests,
+// the operational x86-TSO machine and the axiomatic TSO model produce
+// exactly the same outcome sets.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := randomTSOTest(rand.New(rand.NewSource(seed)))
+		op, err := Run(lt)
+		if err != nil {
+			return false
+		}
+		ax := axiomaticOutcomes(lt)
+		if !sameOutcomes(op, ax) {
+			t.Logf("mismatch on %v: machine=%d axiomatic=%d", lt, len(op), len(ax))
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

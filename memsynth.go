@@ -1,0 +1,379 @@
+// Package memsynth synthesizes comprehensive litmus-test suites directly
+// from axiomatic memory consistency model specifications, implementing
+// Lustig, Wright, Papakonstantinou & Giroux, "Automated Synthesis of
+// Comprehensive Memory Model Litmus Test Suites" (ASPLOS 2017).
+//
+// The library generates, for any supported (or user-defined) memory model,
+// every litmus test up to a size bound that satisfies the paper's
+// minimality criterion: the test has a forbidden outcome that becomes
+// observable under every applicable instruction relaxation (remove
+// instruction, demote memory order, demote fence, decompose RMW, remove
+// dependency, demote scope). Suites are produced per axiom and as a
+// per-model union, with Mador-Haim-style symmetry reduction.
+//
+// # Quick start
+//
+//	model, _ := memsynth.ModelByName("tso")
+//	result := memsynth.Synthesize(model, memsynth.Options{MaxEvents: 4})
+//	for _, entry := range result.Union.Entries {
+//		fmt.Println(entry.Test, "forbids", entry.Exec.OutcomeString())
+//	}
+//
+// Built-in models: sc, tso, power, armv7, scc (the paper's Streamlined
+// Causal Consistency), c11 (an RC11-flavored C/C++ model), and hsa (a
+// scoped SCC variant). Custom models are defined with DefineModel.
+//
+// The package is a facade over the internal packages: litmus tests
+// (internal/litmus), execution enumeration and perturbed relational views
+// (internal/exec), axiomatic models (internal/memmodel), the minimality
+// criterion (internal/minimal), symmetry reduction (internal/canon), the
+// synthesis engine (internal/synth), baseline suites and subtest
+// containment (internal/suites), a diy-style cycle generator
+// (internal/diy), an operational x86-TSO machine (internal/tsosim), and a
+// bounded relational model finder over a CDCL SAT solver
+// (internal/rml, internal/sat) standing in for Alloy/Kodkod/MiniSAT.
+package memsynth
+
+import (
+	"io"
+
+	"memsynth/internal/canon"
+	"memsynth/internal/diy"
+	"memsynth/internal/exec"
+	"memsynth/internal/harness"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/minimal"
+	"memsynth/internal/randgen"
+	"memsynth/internal/render"
+	"memsynth/internal/suites"
+	"memsynth/internal/synth"
+	"memsynth/internal/tsosim"
+)
+
+// Re-exported core types. The aliases make the internal types part of the
+// public API without duplicating them.
+type (
+	// Test is a litmus test (a small multi-threaded program).
+	Test = litmus.Test
+	// Event is one instruction of a test.
+	Event = litmus.Event
+	// Op is a single-instruction specification used to build tests.
+	Op = litmus.Op
+	// Option customizes test construction.
+	Option = litmus.Option
+	// Kind classifies instructions (read / write / fence).
+	Kind = litmus.Kind
+	// Order is a memory-ordering annotation.
+	Order = litmus.Order
+	// FenceKind identifies fence instructions.
+	FenceKind = litmus.FenceKind
+	// Scope is a synchronization scope for scoped models.
+	Scope = litmus.Scope
+	// DepType is a dependency flavor (addr / data / ctrl).
+	DepType = litmus.DepType
+
+	// Execution is one candidate execution (= outcome) of a test.
+	Execution = exec.Execution
+	// View exposes the (possibly perturbed) relations of an execution to
+	// axioms.
+	View = exec.View
+	// Perturb is one instruction-relaxation application.
+	Perturb = exec.Perturb
+
+	// Model is an axiomatic memory consistency model.
+	Model = memmodel.Model
+	// Axiom is one named model constraint.
+	Axiom = memmodel.Axiom
+	// Vocab is a model's synthesis vocabulary.
+	Vocab = memmodel.Vocab
+	// RelaxSpec describes the relaxations a model admits.
+	RelaxSpec = memmodel.RelaxSpec
+
+	// Options bounds a synthesis run.
+	Options = synth.Options
+	// Result is the outcome of a synthesis run.
+	Result = synth.Result
+	// Suite is a set of synthesized tests for one axiom.
+	Suite = synth.Suite
+	// Entry is one synthesized test with its forbidden-outcome witness.
+	Entry = synth.Entry
+
+	// Verdict reports the minimality analysis of one execution.
+	Verdict = minimal.Verdict
+
+	// BaselineTest is an entry of a hand-curated comparison suite.
+	BaselineTest = suites.BaselineTest
+)
+
+// Instruction constructors and test-building options.
+var (
+	// R returns a plain load of the given address.
+	R = litmus.R
+	// W returns a plain store to the given address.
+	W = litmus.W
+	// F returns a fence of the given kind.
+	F = litmus.F
+	// Racq returns an acquire load.
+	Racq = litmus.Racq
+	// Wrel returns a release store.
+	Wrel = litmus.Wrel
+	// Rsc returns a sequentially consistent load.
+	Rsc = litmus.Rsc
+	// Wsc returns a sequentially consistent store.
+	Wsc = litmus.Wsc
+	// WithDep adds a dependency edge between two instructions.
+	WithDep = litmus.WithDep
+	// WithRMW marks two adjacent instructions as an atomic RMW pair.
+	WithRMW = litmus.WithRMW
+	// WithGroups assigns scope groups to threads.
+	WithGroups = litmus.WithGroups
+)
+
+// Enum re-exports.
+const (
+	OPlain   = litmus.OPlain
+	OConsume = litmus.OConsume
+	OAcquire = litmus.OAcquire
+	ORelease = litmus.ORelease
+	OAcqRel  = litmus.OAcqRel
+	OSC      = litmus.OSC
+
+	FMFence = litmus.FMFence
+	FLwSync = litmus.FLwSync
+	FSync   = litmus.FSync
+	FISync  = litmus.FISync
+	FAcqRel = litmus.FAcqRel
+	FSC     = litmus.FSC
+	FAcq    = litmus.FAcq
+	FRel    = litmus.FRel
+
+	ScopeNone = litmus.ScopeNone
+	ScopeWG   = litmus.ScopeWG
+	ScopeSys  = litmus.ScopeSys
+
+	DepAddr = litmus.DepAddr
+	DepData = litmus.DepData
+	DepCtrl = litmus.DepCtrl
+
+	KRead  = litmus.KRead
+	KWrite = litmus.KWrite
+	KFence = litmus.KFence
+)
+
+// NewTest builds a litmus test from per-thread instruction lists.
+func NewTest(name string, threads [][]Op, opts ...Option) *Test {
+	return litmus.New(name, threads, opts...)
+}
+
+// Models returns every built-in memory model.
+func Models() []Model { return memmodel.All() }
+
+// ModelByName returns the built-in model with the given name
+// (sc, tso, power, armv7, scc, c11, hsa).
+func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
+
+// DefineModel constructs a custom axiomatic memory model.
+func DefineModel(name string, axioms []Axiom, vocab Vocab, relax RelaxSpec) Model {
+	return memmodel.Define(name, axioms, vocab, relax)
+}
+
+// Synthesize exhaustively generates the minimal litmus-test suites of the
+// model within the given bounds (paper §5).
+func Synthesize(m Model, opts Options) *Result { return synth.Synthesize(m, opts) }
+
+// Outcome pairs one execution of a test with its validity under a model.
+type Outcome struct {
+	Exec  *Execution
+	Valid bool
+}
+
+// Outcomes enumerates every candidate execution of t and classifies it
+// under m — the herd-style litmus checking workflow.
+func Outcomes(m Model, t *Test) []Outcome {
+	var out []Outcome
+	exec.Enumerate(t, exec.EnumerateOptions{UseSC: m.Vocab().UsesSC}, func(x *Execution) bool {
+		v := exec.NewView(x, exec.NoPerturb)
+		out = append(out, Outcome{Exec: x.Clone(), Valid: memmodel.Valid(m, v)})
+		return true
+	})
+	return out
+}
+
+// OutcomeAllowed reports whether some valid execution of t under m
+// satisfies pred.
+func OutcomeAllowed(m Model, t *Test, pred func(*Execution) bool) bool {
+	allowed := false
+	exec.Enumerate(t, exec.EnumerateOptions{UseSC: m.Vocab().UsesSC}, func(x *Execution) bool {
+		if pred(x) && memmodel.Valid(m, exec.NewView(x, exec.NoPerturb)) {
+			allowed = true
+			return false
+		}
+		return true
+	})
+	return allowed
+}
+
+// CheckMinimal evaluates the paper's minimality criterion for execution x.
+func CheckMinimal(m Model, x *Execution) Verdict {
+	return minimal.Check(m, memmodel.Applications(m, x.Test), x)
+}
+
+// IsMinimal reports whether x is a minimal violation of the named axiom.
+func IsMinimal(m Model, axiom string, x *Execution) (bool, error) {
+	return minimal.IsMinimal(m, axiom, x)
+}
+
+// Relaxations lists the instruction-relaxation applications m admits on t
+// (the domain the minimality criterion quantifies over).
+func Relaxations(m Model, t *Test) []Perturb { return memmodel.Applications(m, t) }
+
+// RelaxationTags returns the paper-Table-2 row for m: which relaxation
+// kinds apply.
+func RelaxationTags(m Model) []string { return memmodel.RelaxationTags(m) }
+
+// CanonicalKey returns the symmetry-class key of a (test, execution) pair.
+func CanonicalKey(x *Execution) string { return canon.Key(x) }
+
+// CanonicalProgramKey returns the symmetry-class key of a program.
+func CanonicalProgramKey(t *Test) string { return canon.ProgramKey(t) }
+
+// OwensSuite returns the reconstructed x86-TSO baseline suite (paper §6.1).
+func OwensSuite() []BaselineTest { return suites.Owens() }
+
+// CambridgeSuite returns the reconstructed Power baseline suite (paper §6.2).
+func CambridgeSuite() []BaselineTest { return suites.Cambridge() }
+
+// Contains reports whether small embeds in big as a subtest (paper Fig. 10).
+func Contains(big, small *Execution) bool { return suites.Contains(big, small) }
+
+// DiyEdge is a critical-cycle edge for the diy-style baseline generator.
+type DiyEdge = diy.Edge
+
+// DiyGenerate enumerates and realizes critical cycles over the alphabet —
+// the related-work baseline the paper contrasts with (§2.1).
+func DiyGenerate(alphabet []DiyEdge, minLen, maxLen int) []*Execution {
+	return diy.Generate(alphabet, minLen, maxLen)
+}
+
+// DiyTSOAlphabet returns a diy edge alphabet suitable for exploring TSO.
+func DiyTSOAlphabet() []DiyEdge { return diy.TSOAlphabet() }
+
+// DiyPowerAlphabet returns a diy edge alphabet for Power.
+func DiyPowerAlphabet() []DiyEdge { return diy.PowerAlphabet() }
+
+// RunTSOMachine runs t on the operational x86-TSO abstract machine and
+// returns its outcome set — the hardware stand-in used to validate the
+// axiomatic TSO model.
+func RunTSOMachine(t *Test) (map[string]tsosim.Outcome, error) { return tsosim.Run(t) }
+
+// MachineFault selects a seeded implementation bug of the x86-TSO machine.
+type MachineFault = tsosim.Fault
+
+// AllMachineFaults returns the seeded bug classes of the x86-TSO machine.
+func AllMachineFaults() []MachineFault { return tsosim.AllFaults() }
+
+// RunTSOMachineFaulty runs t on an x86-TSO machine with the given seeded
+// bug.
+func RunTSOMachineFaulty(t *Test, f MachineFault) (map[string]tsosim.Outcome, error) {
+	return tsosim.RunFaulty(t, f)
+}
+
+// FaultDetection is one row of the detection matrix: whether the suite
+// exposed a seeded fault and the first test that did.
+type FaultDetection = harness.DetectionRow
+
+// FaultDetectionMatrix runs the suite against every fault-injected x86-TSO
+// machine variant (plus the correct one) and reports which bugs the suite
+// detects — the black-box testing loop synthesized suites feed (paper §1).
+func FaultDetectionMatrix(m Model, tests []*Test) []FaultDetection {
+	return harness.DetectionMatrix(m, tests)
+}
+
+// CheckImplementation runs one test on an implementation (a function from
+// test to observed outcome set) and returns the forbidden outcomes it
+// exhibits.
+func CheckImplementation(m Model, t *Test, run func(*Test) (map[string]tsosim.Outcome, error)) ([]harness.Violation, error) {
+	return harness.Check(m, t, run)
+}
+
+// Spec is a parsed litmus file: a test plus an optional forbidden outcome.
+type Spec = litmus.Spec
+
+// OutcomeCond is one conjunct of a parsed outcome specification.
+type OutcomeCond = litmus.OutcomeCond
+
+// ParseTest reads a litmus test in the textual format (see
+// internal/litmus.Parse for the grammar).
+func ParseTest(r io.Reader) (*Spec, error) { return litmus.Parse(r) }
+
+// FormatTest renders t in the textual format accepted by ParseTest.
+func FormatTest(t *Test) string { return litmus.Format(t) }
+
+// RenderTarget selects an output dialect for RenderTest.
+type RenderTarget = render.Target
+
+// Rendering targets.
+const (
+	RenderX86   = render.X86
+	RenderPower = render.Power
+	RenderARM   = render.ARM
+	RenderC11   = render.C11
+)
+
+// RenderTest renders a litmus test as an assembly-style listing or C11
+// source, with an exists-clause for the witness outcome when given.
+func RenderTest(target RenderTarget, t *Test, witness *Execution) (string, error) {
+	return render.Render(target, t, witness)
+}
+
+// RenderDOT renders an execution as a Graphviz graph (events, po skeleton,
+// rf/co/fr, dependencies).
+func RenderDOT(x *Execution) string { return render.DOT(x) }
+
+// RenderTargetFor suggests the conventional rendering target for a model
+// name.
+func RenderTargetFor(model string) (RenderTarget, bool) { return render.TargetFor(model) }
+
+// RandomOptions shapes the random litmus-test baseline generator.
+type RandomOptions = randgen.Options
+
+// RandomGenerator draws random well-formed tests over a model's vocabulary
+// — the "random test generator" baseline of the paper's §2.1 taxonomy.
+type RandomGenerator = randgen.Generator
+
+// NewRandomGenerator returns a seeded random test generator for m.
+func NewRandomGenerator(m Model, opts RandomOptions, seed int64) *RandomGenerator {
+	return randgen.New(m, opts, seed)
+}
+
+// ForbiddenWitness returns an execution of t that m forbids, or nil when
+// every outcome is allowed.
+func ForbiddenWitness(m Model, t *Test) *Execution { return randgen.ForbiddenWitness(m, t) }
+
+// MatchesOutcome reports whether execution x realizes all conditions of a
+// parsed outcome specification.
+func MatchesOutcome(x *Execution, conds []OutcomeCond) bool {
+	t := x.Test
+	for _, c := range conds {
+		if c.Final {
+			if x.FinalValue(c.Addr) != c.Value {
+				return false
+			}
+			continue
+		}
+		matched := false
+		for _, e := range t.Events {
+			if e.Thread == c.Thread && e.Index == c.Index {
+				if e.Kind != KRead || x.ReadValue(e.ID) != c.Value {
+					return false
+				}
+				matched = true
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
