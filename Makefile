@@ -1,0 +1,24 @@
+# Developer and CI entry points. `make check` is the gate every PR must
+# pass: vet, build, and the full test suite under the race detector (the
+# synthesis engine is concurrent; -race keeps it honest).
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

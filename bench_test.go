@@ -17,6 +17,7 @@ package memsynth_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"memsynth"
@@ -325,6 +326,27 @@ func BenchmarkAblationParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				mustSynth(b, "scc", memsynth.Options{MaxEvents: 4, Workers: workers})
 			}
+		})
+	}
+}
+
+// BenchmarkParallelScaling measures the sharded engine's wall-clock
+// scaling on a TSO bound-5 run: Workers=1 vs Workers=NumCPU. The suites
+// are byte-identical for every worker count (dedupe keeps the
+// generation-order-first representative of each symmetry class; see
+// TestParallelByteIdenticalSuites in internal/synth), so ns/op is the
+// only thing that changes. On a single-core host the two sub-benchmarks
+// coincide; on N cores the NumCPU run's speedup is the engine's
+// parallel efficiency.
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *memsynth.Result
+			for i := 0; i < b.N; i++ {
+				res = mustSynth(b, "tso", memsynth.Options{MaxEvents: 5, Workers: workers})
+			}
+			b.ReportMetric(float64(len(res.Union.Entries)), "union-tests")
+			b.ReportMetric(float64(res.Stats.Programs), "programs")
 		})
 	}
 }

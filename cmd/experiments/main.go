@@ -17,13 +17,59 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"memsynth"
 )
+
+var (
+	workers  = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
+	progress = flag.Bool("progress", false, "stream live synthesis progress to stderr")
+	timeout  = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
+)
+
+// runCtx is the experiment-wide context (Ctrl-C cancels the runs).
+var runCtx = context.Background()
+
+// synthesize runs one synthesis with the shared -workers/-progress/-timeout
+// settings applied; an interrupted run returns its partial result with a
+// stderr note.
+func synthesize(m memsynth.Model, opts memsynth.Options) *memsynth.Result {
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(ev memsynth.ProgressEvent) {
+			if ev.Phase == memsynth.PhaseTick {
+				fmt.Fprintf(os.Stderr, "\r  [%s] size=%d raw=%d distinct=%d execs=%d tests=%d %.1fs   ",
+					ev.Model, ev.Size, ev.ProgramsRaw, ev.Programs, ev.Executions, ev.Entries, ev.Elapsed.Seconds())
+			} else if ev.Phase == memsynth.PhaseDone {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		}
+		opts.ProgressInterval = 250 * time.Millisecond
+	}
+	ctx := runCtx
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := memsynth.SynthesizeContext(ctx, m, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if res.Stats.Interrupted {
+		fmt.Fprintf(os.Stderr, "note: %s synthesis interrupted after %v; results are partial\n",
+			res.Model, res.Stats.Elapsed.Round(time.Millisecond))
+	}
+	return res
+}
 
 func main() {
 	var (
@@ -31,6 +77,10 @@ func main() {
 		bound = flag.Int("bound", 4, "maximum synthesis bound")
 	)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	runCtx = ctx
 
 	experiments := map[string]func(int){
 		"table2": table2,
@@ -78,7 +128,7 @@ func table2(int) {
 // table4 classifies the Owens suite against the synthesized TSO suites.
 func table4(bound int) {
 	tso, _ := memsynth.ModelByName("tso")
-	res := memsynth.Synthesize(tso, memsynth.Options{MaxEvents: bound})
+	res := synthesize(tso, memsynth.Options{MaxEvents: bound})
 	fmt.Printf("TSO union @%d: %d tests\n", bound, len(res.Union.Entries))
 	both, baseOnly, unmatched := 0, 0, 0
 	for _, bt := range memsynth.OwensSuite() {
@@ -122,12 +172,12 @@ func figCounts(modelName string, maxBound int) {
 	}
 	fmt.Printf("%s: per-axiom suite sizes and runtime per bound (cumulative)\n", modelName)
 	header := []string{"bound"}
-	res0 := memsynth.Synthesize(model, memsynth.Options{MaxEvents: 2})
+	res0 := synthesize(model, memsynth.Options{MaxEvents: 2})
 	header = append(header, res0.AxiomNames()...)
 	header = append(header, "union", "forbidden", "runtime")
 	fmt.Println(strings.Join(header, "\t"))
 	for b := 2; b <= maxBound; b++ {
-		res := memsynth.Synthesize(model, memsynth.Options{MaxEvents: b, CountForbidden: b <= 4})
+		res := synthesize(model, memsynth.Options{MaxEvents: b, CountForbidden: b <= 4})
 		row := []string{fmt.Sprint(b)}
 		for _, name := range res.AxiomNames() {
 			row = append(row, fmt.Sprint(len(res.PerAxiom[name].Entries)))
@@ -164,7 +214,7 @@ func diyCompare(bound int) {
 			}
 		}
 	}
-	res := memsynth.Synthesize(tso, memsynth.Options{MaxEvents: 2 * bound})
+	res := synthesize(tso, memsynth.Options{MaxEvents: 2 * bound})
 	fmt.Printf("diy cycles (len 3..%d): %d realized, %d distinct, %d forbidden, %d minimal\n",
 		bound, len(witnesses), len(distinct), forbidden, minimalCount)
 	fmt.Printf("synthesized union @%d: %d tests (all minimal by construction)\n",
@@ -180,7 +230,7 @@ func diyTSOAlphabet() []memsynth.DiyEdge {
 // source) with synthesis: coverage of the minimal patterns per test budget.
 func randomCompare(bound int) {
 	tso, _ := memsynth.ModelByName("tso")
-	res := memsynth.Synthesize(tso, memsynth.Options{MaxEvents: bound})
+	res := synthesize(tso, memsynth.Options{MaxEvents: bound})
 	target := map[string]bool{}
 	for _, e := range res.Union.Entries {
 		target[e.Key] = true
@@ -215,7 +265,7 @@ func faultMatrix(bound int) {
 		bound = 6 // SB+mfences (needed for the fence fault) has 6 instructions
 	}
 	tso, _ := memsynth.ModelByName("tso")
-	res := memsynth.Synthesize(tso, memsynth.Options{MaxEvents: bound})
+	res := synthesize(tso, memsynth.Options{MaxEvents: bound})
 	var tests []*memsynth.Test
 	for _, e := range res.Union.Entries {
 		tests = append(tests, e.Test)

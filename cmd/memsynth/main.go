@@ -7,14 +7,22 @@
 //	memsynth -model power -bound 4 -axiom no_thin_air
 //	memsynth -model scc -bound 4 -format litmus > suite.litmus
 //	memsynth -model tso -bound 5 -stats
+//	memsynth -model tso -bound 6 -workers 8 -progress
+//	memsynth -model power -bound 5 -timeout 30s   # partial suite on deadline
+//
+// Synthesis honors -timeout and Ctrl-C: an interrupted run prints the
+// partial suite found so far (marked as partial in the stats line).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"memsynth"
 )
@@ -27,6 +35,9 @@ func main() {
 		format    = flag.String("format", "pretty", "output format: pretty, litmus, asm, or dot")
 		threads   = flag.Int("threads", 4, "maximum thread count")
 		addrs     = flag.Int("addrs", 3, "maximum distinct addresses")
+		workers   = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
+		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long, keeping partial results (0 = none)")
+		progress  = flag.Bool("progress", false, "stream live synthesis progress to stderr")
 		stats     = flag.Bool("stats", false, "print synthesis statistics")
 		outDir    = flag.String("out", "", "write one .litmus file per test into this directory instead of stdout")
 	)
@@ -37,11 +48,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res := memsynth.Synthesize(model, memsynth.Options{
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := memsynth.Options{
 		MaxEvents:  *bound,
 		MaxThreads: *threads,
 		MaxAddrs:   *addrs,
-	})
+		Workers:    *workers,
+	}
+	if *progress {
+		opts.Progress = printProgress
+		opts.ProgressInterval = 250 * time.Millisecond
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := memsynth.SynthesizeContext(ctx, model, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if res.Stats.Interrupted {
+		fmt.Fprintf(os.Stderr, "synthesis interrupted after %v; printing partial suite\n", res.Stats.Elapsed.Round(time.Millisecond))
+	}
 
 	suite := res.Union
 	if *axiom != "union" {
@@ -97,12 +133,43 @@ func main() {
 	}
 
 	if *stats {
+		partial := ""
+		if res.Stats.Interrupted {
+			partial = " (partial: interrupted)"
+		}
 		fmt.Fprintf(os.Stderr,
-			"model=%s bound=%d suite=%s tests=%d | programs=%d (raw %d) executions=%d elapsed=%v\n",
+			"model=%s bound=%d suite=%s tests=%d | programs=%d (raw %d) executions=%d elapsed=%v%s\n",
 			model.Name(), *bound, suite.Axiom, len(suite.Entries),
-			res.Stats.Programs, res.Stats.ProgramsRaw, res.Stats.Executions, res.Stats.Elapsed)
+			res.Stats.Programs, res.Stats.ProgramsRaw, res.Stats.Executions, res.Stats.Elapsed, partial)
+		st := res.Stats.Stages
+		fmt.Fprintf(os.Stderr, "  stages: generation=%v dedupe=%v execution=%v minimality=%v (worker stages are CPU time)\n",
+			st.Generation.Round(time.Millisecond), st.Dedupe.Round(time.Millisecond),
+			st.Execution.Round(time.Millisecond), st.Minimality.Round(time.Millisecond))
 		for _, name := range res.AxiomNames() {
 			fmt.Fprintf(os.Stderr, "  axiom %-16s %4d tests\n", name, len(res.PerAxiom[name].Entries))
 		}
+	}
+}
+
+// printProgress renders streamed engine events as a live stderr status
+// line (phase transitions get their own lines; ticks overwrite in place).
+func printProgress(ev memsynth.ProgressEvent) {
+	switch ev.Phase {
+	case memsynth.PhaseGenerate:
+		fmt.Fprintf(os.Stderr, "\n[%s size=%d] generating programs...\n", ev.Model, ev.Size)
+	case memsynth.PhaseExplore:
+		fmt.Fprintf(os.Stderr, "[%s size=%d] exploring executions (raw=%d distinct=%d)...\n",
+			ev.Model, ev.Size, ev.ProgramsRaw, ev.Programs)
+	case memsynth.PhaseTick:
+		fmt.Fprintf(os.Stderr, "\r  raw=%d distinct=%d execs=%d tests=%d %.1fs   ",
+			ev.ProgramsRaw, ev.Programs, ev.Executions, ev.Entries, ev.Elapsed.Seconds())
+	case memsynth.PhaseDone:
+		state := "done"
+		if ev.Interrupted {
+			state = "interrupted"
+		}
+		fmt.Fprintf(os.Stderr, "\r[%s] %s: raw=%d distinct=%d execs=%d tests=%d in %v\n",
+			ev.Model, state, ev.ProgramsRaw, ev.Programs, ev.Executions, ev.Entries,
+			ev.Elapsed.Round(time.Millisecond))
 	}
 }

@@ -1,8 +1,10 @@
 package memsynth_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"memsynth"
 	"memsynth/internal/tsosim"
@@ -100,6 +102,108 @@ func TestFacadeFaultDetection(t *testing.T) {
 	}
 	if detected != len(memsynth.AllMachineFaults()) {
 		t.Errorf("suite detected %d of %d faults", detected, len(memsynth.AllMachineFaults()))
+	}
+}
+
+func TestFacadeSynthesizeContext(t *testing.T) {
+	tso, _ := memsynth.ModelByName("tso")
+
+	// A complete run through the context API matches the blocking facade.
+	var events []memsynth.ProgressEvent
+	res, err := memsynth.SynthesizeContext(context.Background(), tso, memsynth.Options{
+		MaxEvents:        3,
+		Workers:          2,
+		ProgressInterval: time.Millisecond,
+		Progress:         func(ev memsynth.ProgressEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Interrupted {
+		t.Error("complete run reports Interrupted")
+	}
+	blocking := memsynth.Synthesize(tso, memsynth.Options{MaxEvents: 3})
+	if len(res.Union.Entries) != len(blocking.Union.Entries) {
+		t.Errorf("context union = %d, blocking union = %d", len(res.Union.Entries), len(blocking.Union.Entries))
+	}
+	if len(events) == 0 || events[len(events)-1].Phase != memsynth.PhaseDone {
+		t.Errorf("progress events missing or unterminated: %d events", len(events))
+	}
+
+	// Invalid options come back as an error, not a panic.
+	if _, err := memsynth.SynthesizeContext(context.Background(), tso, memsynth.Options{MaxEvents: -1}); err == nil {
+		t.Error("invalid options accepted")
+	}
+
+	// A cancelled run returns partial results with Interrupted set.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = memsynth.SynthesizeContext(ctx, tso, memsynth.Options{MaxEvents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Interrupted {
+		t.Error("cancelled run did not report Interrupted")
+	}
+}
+
+func TestFacadeOutcomesContext(t *testing.T) {
+	tso, _ := memsynth.ModelByName("tso")
+	mp := memsynth.NewTest("MP", [][]memsynth.Op{
+		{memsynth.W(0), memsynth.W(1)},
+		{memsynth.R(1), memsynth.R(0)},
+	})
+
+	got, err := memsynth.OutcomesContext(context.Background(), tso, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := memsynth.Outcomes(tso, mp); len(got) != len(want) {
+		t.Errorf("OutcomesContext = %d outcomes, Outcomes = %d", len(got), len(want))
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := memsynth.OutcomesContext(cancelled, tso, mp); err == nil {
+		t.Error("cancelled OutcomesContext returned nil error")
+	}
+
+	// r1=1, r0=0: the MP relaxed outcome (events 2 and 3 are the reads).
+	relaxed := func(x *memsynth.Execution) bool {
+		return x.ReadValue(2) != 0 && x.ReadValue(3) == 0
+	}
+	ok, err := memsynth.OutcomeAllowedContext(context.Background(), tso, mp, relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != memsynth.OutcomeAllowed(tso, mp, relaxed) {
+		t.Error("OutcomeAllowedContext disagrees with OutcomeAllowed")
+	}
+	if _, err := memsynth.OutcomeAllowedContext(cancelled, tso, mp, relaxed); err == nil {
+		t.Error("cancelled OutcomeAllowedContext returned nil error")
+	}
+}
+
+func TestFacadeFaultDetectionContext(t *testing.T) {
+	tso, _ := memsynth.ModelByName("tso")
+	suite := []*memsynth.Test{
+		memsynth.NewTest("CoWR", [][]memsynth.Op{{memsynth.W(0), memsynth.R(0)}}),
+	}
+	rows, err := memsynth.FaultDetectionMatrixContext(context.Background(), tso, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(memsynth.AllMachineFaults()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err = memsynth.FaultDetectionMatrixContext(cancelled, tso, suite)
+	if err == nil {
+		t.Error("cancelled matrix returned nil error")
+	}
+	if len(rows) != 0 {
+		t.Errorf("cancelled matrix returned %d rows, want 0", len(rows))
 	}
 }
 

@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -97,17 +98,40 @@ type SuiteReport struct {
 	// Skipped counts tests the machine could not execute (vocabulary
 	// mismatch).
 	Skipped int
+	// Interrupted reports that the run was cancelled before every test
+	// executed; the report covers the tests run up to that point.
+	Interrupted bool
 }
 
 // Detected reports whether any test exposed a violation.
 func (r SuiteReport) Detected() bool { return len(r.Violations) > 0 }
 
+// RunProgress is one suite-run progress observation, delivered after each
+// test.
+type RunProgress struct {
+	// TestsRun counts tests executed so far, Total the suite size.
+	TestsRun, Total int
+	// Violations counts forbidden outcomes observed so far.
+	Violations int
+}
+
 // RunSuite checks every test of the suite against the machine. Tests the
 // machine cannot execute (unsupported vocabulary) are counted as skipped,
 // not errors, so suites for richer models can run on narrower machines.
 func RunSuite(m memmodel.Model, tests []*litmus.Test, run Machine) SuiteReport {
+	return RunSuiteContext(context.Background(), m, tests, run, nil)
+}
+
+// RunSuiteContext is RunSuite with cancellation and progress streaming:
+// the run stops between tests when ctx is done (Interrupted is set on the
+// partial report), and progress, when non-nil, is called after each test.
+func RunSuiteContext(ctx context.Context, m memmodel.Model, tests []*litmus.Test, run Machine, progress func(RunProgress)) SuiteReport {
 	var report SuiteReport
 	for _, t := range tests {
+		if ctx.Err() != nil {
+			report.Interrupted = true
+			break
+		}
 		violations, err := Check(m, t, run)
 		if err != nil {
 			report.Skipped++
@@ -117,6 +141,9 @@ func RunSuite(m memmodel.Model, tests []*litmus.Test, run Machine) SuiteReport {
 		if len(violations) > 0 {
 			report.DetectingTests++
 			report.Violations = append(report.Violations, violations...)
+		}
+		if progress != nil {
+			progress(RunProgress{TestsRun: report.TestsRun, Total: len(tests), Violations: len(report.Violations)})
 		}
 	}
 	return report
@@ -135,17 +162,31 @@ type DetectionRow struct {
 // must produce no violations; it is checked first and reported as a row
 // with Detected meaning "false positives seen".
 func DetectionMatrix(m memmodel.Model, tests []*litmus.Test) []DetectionRow {
+	rows, _ := DetectionMatrixContext(context.Background(), m, tests)
+	return rows
+}
+
+// DetectionMatrixContext is DetectionMatrix with cancellation: it stops
+// between machine variants (and between tests) when ctx is done,
+// returning the rows completed so far along with ctx.Err().
+func DetectionMatrixContext(ctx context.Context, m memmodel.Model, tests []*litmus.Test) ([]DetectionRow, error) {
 	rows := make([]DetectionRow, 0, 6)
 	for _, fault := range append([]tsosim.Fault{tsosim.FaultNone}, tsosim.AllFaults()...) {
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
 		machine := func(t *litmus.Test) (map[string]tsosim.Outcome, error) {
 			return tsosim.RunFaulty(t, fault)
 		}
-		report := RunSuite(m, tests, machine)
+		report := RunSuiteContext(ctx, m, tests, machine, nil)
+		if report.Interrupted {
+			return rows, ctx.Err()
+		}
 		row := DetectionRow{Fault: fault, Detected: report.Detected()}
 		if len(report.Violations) > 0 {
 			row.FirstTest = report.Violations[0].Test
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"memsynth/internal/litmus"
@@ -186,5 +187,56 @@ func TestSkippedVocabulary(t *testing.T) {
 	report := RunSuite(scc, []*litmus.Test{relacq}, correctMachine)
 	if report.Skipped != 1 || report.TestsRun != 0 {
 		t.Errorf("report = %+v, want 1 skipped", report)
+	}
+}
+
+func TestRunSuiteContextCancellation(t *testing.T) {
+	tso := memmodel.TSO()
+	tests := synthesizedTests(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report := RunSuiteContext(ctx, tso, tests, correctMachine, nil)
+	if !report.Interrupted {
+		t.Error("cancelled RunSuiteContext did not set Interrupted")
+	}
+	if report.TestsRun != 0 {
+		t.Errorf("cancelled run executed %d tests", report.TestsRun)
+	}
+
+	// An uncancelled context run matches the blocking API and streams
+	// monotone progress.
+	var progress []RunProgress
+	report = RunSuiteContext(context.Background(), tso, tests, correctMachine, func(p RunProgress) {
+		progress = append(progress, p)
+	})
+	blocking := RunSuite(tso, tests, correctMachine)
+	if report.Interrupted {
+		t.Error("complete run reports Interrupted")
+	}
+	if report.TestsRun != blocking.TestsRun || len(report.Violations) != len(blocking.Violations) {
+		t.Errorf("context report %+v differs from blocking %+v", report, blocking)
+	}
+	if len(progress) != report.TestsRun {
+		t.Errorf("progress callbacks = %d, tests run = %d", len(progress), report.TestsRun)
+	}
+	for i, p := range progress {
+		if p.TestsRun != i+1 || p.Total != len(tests) {
+			t.Errorf("progress[%d] = %+v", i, p)
+			break
+		}
+	}
+}
+
+func TestDetectionMatrixContextCancellation(t *testing.T) {
+	tso := memmodel.TSO()
+	tests := synthesizedTests(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := DetectionMatrixContext(ctx, tso, tests)
+	if err == nil {
+		t.Error("cancelled DetectionMatrixContext returned nil error")
+	}
+	if len(rows) != 0 {
+		t.Errorf("cancelled matrix returned %d rows", len(rows))
 	}
 }

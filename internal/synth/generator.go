@@ -10,6 +10,9 @@ import (
 // canonical address assignments (restricted-growth strings), dependency
 // edges, RMW pairing, and — for scoped models — thread-to-group
 // assignments.
+//
+// The emit callback returns false to abort enumeration (cancellation);
+// every recursive stage propagates the abort outward immediately.
 type generator struct {
 	vocab         memmodel.Vocab
 	opts          Options
@@ -25,10 +28,15 @@ type slot struct {
 	rmwRead  bool
 }
 
-func (g *generator) run(n int, emit func(*litmus.Test)) {
+// run enumerates all programs with n instructions; it returns false if
+// emit aborted the enumeration.
+func (g *generator) run(n int, emit func(*litmus.Test) bool) bool {
 	for _, sizes := range partitions(n, g.opts.MaxThreads) {
-		g.fillThreads(sizes, emit)
+		if !g.fillThreads(sizes, emit) {
+			return false
+		}
 	}
+	return true
 }
 
 // partitions returns all non-increasing positive compositions of n into at
@@ -61,20 +69,18 @@ func partitions(n, maxParts int) [][]int {
 
 // fillThreads enumerates instruction assignments for the given thread
 // sizes, then hands each skeleton to the address/dep/group stages.
-func (g *generator) fillThreads(sizes []int, emit func(*litmus.Test)) {
+func (g *generator) fillThreads(sizes []int, emit func(*litmus.Test) bool) bool {
 	var slots []slot
 	numAddrSlots := 0
 	rmwPairs := 0
 
-	var fill func(th, idx int)
-	fill = func(th, idx int) {
+	var fill func(th, idx int) bool
+	fill = func(th, idx int) bool {
 		if th == len(sizes) {
-			g.assignAddrs(sizes, slots, numAddrSlots, emit)
-			return
+			return g.assignAddrs(sizes, slots, numAddrSlots, emit)
 		}
 		if idx == sizes[th] {
-			fill(th+1, 0)
-			return
+			return fill(th+1, 0)
 		}
 		// Single instructions.
 		for _, op := range g.vocab.Ops {
@@ -88,10 +94,13 @@ func (g *generator) fillThreads(sizes []int, emit func(*litmus.Test)) {
 				numAddrSlots++
 			}
 			slots = append(slots, s)
-			fill(th, idx+1)
+			ok := fill(th, idx+1)
 			slots = slots[:len(slots)-1]
 			if !op.IsFence() {
 				numAddrSlots--
+			}
+			if !ok {
+				return false
 			}
 		}
 		// RMW pairs (occupy two adjacent slots, one shared address slot).
@@ -102,28 +111,31 @@ func (g *generator) fillThreads(sizes []int, emit func(*litmus.Test)) {
 				numAddrSlots++
 				rmwPairs++
 				slots = append(slots, r, w)
-				fill(th, idx+2)
+				ok := fill(th, idx+2)
 				slots = slots[:len(slots)-2]
 				rmwPairs--
 				numAddrSlots--
+				if !ok {
+					return false
+				}
 			}
 		}
+		return true
 	}
-	fill(0, 0)
+	return fill(0, 0)
 }
 
 // assignAddrs enumerates canonical address assignments (restricted-growth
 // strings) over the address slots.
-func (g *generator) assignAddrs(sizes []int, slots []slot, numAddrSlots int, emit func(*litmus.Test)) {
+func (g *generator) assignAddrs(sizes []int, slots []slot, numAddrSlots int, emit func(*litmus.Test) bool) bool {
 	addrs := make([]int, numAddrSlots)
-	var rec func(i, maxUsed int)
-	rec = func(i, maxUsed int) {
+	var rec func(i, maxUsed int) bool
+	rec = func(i, maxUsed int) bool {
 		if i == numAddrSlots {
 			if g.pruneIsolated && !g.addrsUseful(slots, addrs, maxUsed+1) {
-				return
+				return true
 			}
-			g.assignDeps(sizes, slots, addrs, emit)
-			return
+			return g.assignDeps(sizes, slots, addrs, emit)
 		}
 		limit := maxUsed + 1
 		if limit > g.opts.MaxAddrs-1 {
@@ -135,14 +147,16 @@ func (g *generator) assignAddrs(sizes []int, slots []slot, numAddrSlots int, emi
 			if a > nm {
 				nm = a
 			}
-			rec(i+1, nm)
+			if !rec(i+1, nm) {
+				return false
+			}
 		}
+		return true
 	}
 	if numAddrSlots == 0 {
-		g.assignDeps(sizes, slots, addrs, emit)
-		return
+		return g.assignDeps(sizes, slots, addrs, emit)
 	}
-	rec(0, -1)
+	return rec(0, -1)
 }
 
 // addrsUseful checks, for dependency-free models, that every address is
@@ -177,7 +191,7 @@ type depCandidate struct {
 }
 
 // assignDeps enumerates dependency-edge subsets of size <= MaxDeps.
-func (g *generator) assignDeps(sizes []int, slots []slot, addrs []int, emit func(*litmus.Test)) {
+func (g *generator) assignDeps(sizes []int, slots []slot, addrs []int, emit func(*litmus.Test) bool) bool {
 	var cands []depCandidate
 	if len(g.vocab.DepTypes) > 0 {
 		for i, from := range slots {
@@ -202,11 +216,13 @@ func (g *generator) assignDeps(sizes []int, slots []slot, addrs []int, emit func
 	}
 
 	var chosen []depCandidate
-	var rec func(next int)
-	rec = func(next int) {
-		g.assignGroups(sizes, slots, addrs, chosen, emit)
+	var rec func(next int) bool
+	rec = func(next int) bool {
+		if !g.assignGroups(sizes, slots, addrs, chosen, emit) {
+			return false
+		}
 		if len(chosen) == g.opts.MaxDeps {
-			return
+			return true
 		}
 		for i := next; i < len(cands); i++ {
 			// At most one dependency per (from, to) pair.
@@ -221,11 +237,15 @@ func (g *generator) assignDeps(sizes []int, slots []slot, addrs []int, emit func
 				continue
 			}
 			chosen = append(chosen, cands[i])
-			rec(i + 1)
+			ok := rec(i + 1)
 			chosen = chosen[:len(chosen)-1]
+			if !ok {
+				return false
+			}
 		}
+		return true
 	}
-	rec(0)
+	return rec(0)
 }
 
 // depTypeAllowed reports whether a dependency of type dt may target op:
@@ -245,17 +265,15 @@ func depTypeAllowed(dt litmus.DepType, to litmus.Op) bool {
 
 // assignGroups enumerates thread-to-group assignments (restricted growth)
 // for scoped models, then builds and emits the test.
-func (g *generator) assignGroups(sizes []int, slots []slot, addrs []int, deps []depCandidate, emit func(*litmus.Test)) {
+func (g *generator) assignGroups(sizes []int, slots []slot, addrs []int, deps []depCandidate, emit func(*litmus.Test) bool) bool {
 	if len(g.vocab.Scopes) == 0 {
-		g.build(sizes, slots, addrs, deps, nil, emit)
-		return
+		return g.build(sizes, slots, addrs, deps, nil, emit)
 	}
 	groups := make([]int, len(sizes))
-	var rec func(th, maxUsed int)
-	rec = func(th, maxUsed int) {
+	var rec func(th, maxUsed int) bool
+	rec = func(th, maxUsed int) bool {
 		if th == len(sizes) {
-			g.build(sizes, slots, addrs, deps, groups, emit)
-			return
+			return g.build(sizes, slots, addrs, deps, groups, emit)
 		}
 		for grp := 0; grp <= maxUsed+1; grp++ {
 			groups[th] = grp
@@ -263,14 +281,17 @@ func (g *generator) assignGroups(sizes []int, slots []slot, addrs []int, deps []
 			if grp > nm {
 				nm = grp
 			}
-			rec(th+1, nm)
+			if !rec(th+1, nm) {
+				return false
+			}
 		}
+		return true
 	}
-	rec(0, -1)
+	return rec(0, -1)
 }
 
 // build materializes the skeleton into a litmus.Test and emits it.
-func (g *generator) build(sizes []int, slots []slot, addrs []int, deps []depCandidate, groups []int, emit func(*litmus.Test)) {
+func (g *generator) build(sizes []int, slots []slot, addrs []int, deps []depCandidate, groups []int, emit func(*litmus.Test) bool) bool {
 	threads := make([][]litmus.Op, len(sizes))
 	for _, s := range slots {
 		op := s.op
@@ -292,5 +313,5 @@ func (g *generator) build(sizes []int, slots []slot, addrs []int, deps []depCand
 	if groups != nil {
 		opts = append(opts, litmus.WithGroups(append([]int(nil), groups...)...))
 	}
-	emit(litmus.New("synth", threads, opts...))
+	return emit(litmus.New("synth", threads, opts...))
 }

@@ -5,15 +5,31 @@
 // collects one canonical representative of every symmetry class into
 // per-axiom suites plus a per-model union suite.
 //
-// Synthesis can fan program processing out over worker goroutines
-// (Options.Workers) — an extension addressing the super-exponential
-// runtimes the paper reports (§7); results are identical to the sequential
-// run (suites are canonical sets, sorted deterministically).
+// The engine is context-aware and streaming — extensions addressing the
+// super-exponential runtimes the paper reports (§7):
+//
+//   - SynthesizeContext honors cancellation and deadlines, returning the
+//     partial suites accumulated so far with Stats.Interrupted set.
+//   - Per-program work fans out over Options.Workers goroutines. Dedupe
+//     uses N-way sharded canonical-key maps (no global mutex), and each
+//     symmetry class keeps its generation-order-first representative, so
+//     the output is byte-identical for every worker count.
+//   - Options.Progress streams phase transitions and counter snapshots
+//     while the run is in flight.
+//
+// Each instruction-count size runs in two phases: generate (skeleton
+// enumeration feeding canonical-key dedupe workers) and explore (workers
+// enumerate executions of each distinct program and apply the minimality
+// criterion). Per-program findings are buffered and merged in generation
+// order, which reproduces the sequential engine's output exactly.
 package synth
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"memsynth/internal/canon"
@@ -22,61 +38,6 @@ import (
 	"memsynth/internal/memmodel"
 	"memsynth/internal/minimal"
 )
-
-// Options bounds the synthesis search space.
-type Options struct {
-	// MinEvents and MaxEvents bound the instruction count (inclusive).
-	// MinEvents defaults to 2.
-	MinEvents, MaxEvents int
-	// MaxThreads bounds the thread count (default 4).
-	MaxThreads int
-	// MaxAddrs bounds the number of distinct memory locations (default 3).
-	MaxAddrs int
-	// MaxDeps bounds the number of explicit dependency edges (default 2).
-	MaxDeps int
-	// MaxRMWs bounds the number of RMW pairs (default 1).
-	MaxRMWs int
-	// Workers fans the per-program work out over this many goroutines
-	// (default 1 = sequential).
-	Workers int
-	// CountForbidden additionally counts all distinct forbidden
-	// (program, outcome) pairs — the "All Progs" line of paper Fig. 13a.
-	// It is off by default because canonicalizing every forbidden
-	// execution is expensive.
-	CountForbidden bool
-	// KeepTrivialFences disables the always-sound pruning of programs
-	// with a fence as the first or last instruction of a thread (such a
-	// fence orders nothing, so the test cannot be minimal).
-	KeepTrivialFences bool
-	// KeepIsolatedAddrs disables the pruning of programs containing an
-	// address accessed only once or never written. This pruning is only
-	// applied for models without syntactic dependencies (where such an
-	// access cannot be load-bearing); dependency-based models such as
-	// Power keep these programs regardless (e.g. lb+addrs+ww needs them).
-	KeepIsolatedAddrs bool
-}
-
-func (o Options) withDefaults() Options {
-	if o.MinEvents == 0 {
-		o.MinEvents = 2
-	}
-	if o.MaxThreads == 0 {
-		o.MaxThreads = 4
-	}
-	if o.MaxAddrs == 0 {
-		o.MaxAddrs = 3
-	}
-	if o.MaxDeps == 0 {
-		o.MaxDeps = 2
-	}
-	if o.MaxRMWs == 0 {
-		o.MaxRMWs = 1
-	}
-	if o.Workers == 0 {
-		o.Workers = 1
-	}
-	return o
-}
 
 // Entry is one synthesized litmus test: a program together with the
 // forbidden outcome (execution) that witnesses its minimality.
@@ -134,6 +95,23 @@ func (s *Suite) CountUpTo(bound int) int {
 	return n
 }
 
+// StageTimes breaks the synthesis work down by pipeline stage. Worker
+// stages (Dedupe, Execution, Minimality) are summed across goroutines, so
+// they are CPU time and can exceed Stats.Elapsed on parallel runs.
+// Generation is the wall-clock time of the skeleton enumerator (it
+// includes backpressure waiting when the dedupe workers lag).
+type StageTimes struct {
+	// Generation is skeleton enumeration (thread shapes, instruction
+	// assignments, addresses, deps, scopes).
+	Generation time.Duration
+	// Dedupe is canonical-key computation plus sharded-map claims.
+	Dedupe time.Duration
+	// Execution is candidate-execution enumeration.
+	Execution time.Duration
+	// Minimality is the per-execution minimality criterion.
+	Minimality time.Duration
+}
+
 // Stats reports synthesis work counters.
 type Stats struct {
 	// ProgramsRaw counts generated programs before symmetry dedupe.
@@ -148,6 +126,12 @@ type Stats struct {
 	ForbiddenOutcomes int
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
+	// Stages is the per-stage timing breakdown.
+	Stages StageTimes
+	// Interrupted reports that the run was cancelled (context done)
+	// before completing; the suites hold the partial results found
+	// up to that point.
+	Interrupted bool
 }
 
 // Result is the outcome of one synthesis run.
@@ -169,148 +153,301 @@ func (r *Result) AxiomNames() []string {
 	return names
 }
 
-// progOutcome is the per-program result a worker reports back.
-type progOutcome struct {
-	executions    int
-	forbiddenKeys []string
-	found         []foundEntry
-}
-
+// foundEntry is one minimal-test instance a worker found, with the axiom
+// indices it is minimal for.
 type foundEntry struct {
 	axioms []int
 	entry  Entry
 }
 
+// Synthesize runs exhaustive minimal-test synthesis for model m under the
+// given bounds. It is a thin wrapper over SynthesizeContext with a
+// background context; it panics on invalid Options (a programmer error —
+// use Options.Validate or SynthesizeContext to handle it as a value).
+func Synthesize(m memmodel.Model, opts Options) *Result {
+	res, err := SynthesizeContext(context.Background(), m, opts)
+	if err != nil {
+		panic(fmt.Sprintf("synth.Synthesize: %v", err))
+	}
+	return res
+}
+
+// SynthesizeContext runs exhaustive minimal-test synthesis for model m,
+// honoring ctx cancellation and deadline. A cancelled run stops promptly
+// and returns the suites synthesized so far with Stats.Interrupted set
+// (and a nil error — partial results are results). The only error
+// returned is an Options validation failure.
+func SynthesizeContext(ctx context.Context, m memmodel.Model, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	e := newEngine(m, opts)
+	return e.run(ctx), nil
+}
+
+// engine holds one synthesis run's shared state. Counters are atomics so
+// workers update them without locks and the progress sink can snapshot
+// them at any moment.
+type engine struct {
+	model  memmodel.Model
+	opts   Options
+	axioms []memmodel.Axiom
+
+	stopped atomic.Bool  // set when ctx is done; checked at cancellation points
+	size    atomic.Int32 // instruction-count phase currently running
+
+	programsRaw atomic.Int64
+	programs    atomic.Int64
+	executions  atomic.Int64
+	entries     atomic.Int64
+	forbidden   atomic.Int64
+
+	genNS    atomic.Int64
+	dedupeNS atomic.Int64
+	execNS   atomic.Int64
+	minNS    atomic.Int64
+
+	seenEntry     *shardedSet
+	seenForbidden *shardedSet
+
+	start time.Time
+	prog  *progressSink
+	res   *Result
+}
+
+func newEngine(m memmodel.Model, opts Options) *engine {
+	e := &engine{
+		model:     m,
+		opts:      opts,
+		axioms:    m.Axioms(),
+		seenEntry: newShardedSet(opts.Workers),
+		res: &Result{
+			Model:    m.Name(),
+			Options:  opts,
+			PerAxiom: make(map[string]*Suite),
+			Union:    newSuite(m.Name(), "union"),
+		},
+	}
+	for _, a := range e.axioms {
+		e.res.PerAxiom[a.Name] = newSuite(m.Name(), a.Name)
+	}
+	if opts.CountForbidden {
+		e.seenForbidden = newShardedSet(opts.Workers)
+	}
+	if opts.Progress != nil {
+		e.prog = &progressSink{fn: opts.Progress, e: e}
+	}
+	return e
+}
+
+func (e *engine) run(ctx context.Context) *Result {
+	e.start = time.Now()
+
+	// Watch ctx on a side goroutine and fold it into one atomic flag the
+	// hot paths can poll cheaply.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.stopped.Store(true)
+		case <-watchDone:
+		}
+	}()
+	if e.prog != nil {
+		go e.prog.loop(e.opts.ProgressInterval, watchDone)
+	}
+
+	for n := e.opts.MinEvents; n <= e.opts.MaxEvents; n++ {
+		if e.stopped.Load() {
+			break
+		}
+		e.size.Store(int32(n))
+		e.prog.emit(PhaseGenerate, false)
+		winners := e.generateAndDedupe(n)
+		if e.stopped.Load() {
+			break
+		}
+		e.prog.emit(PhaseExplore, false)
+		e.merge(e.explore(winners))
+	}
+
+	e.res.Union.sortEntries()
+	for _, s := range e.res.PerAxiom {
+		s.sortEntries()
+	}
+	if e.seenForbidden != nil {
+		e.res.Stats.ForbiddenOutcomes = e.seenForbidden.Len()
+	}
+	e.res.Stats.ProgramsRaw = int(e.programsRaw.Load())
+	e.res.Stats.Programs = int(e.programs.Load())
+	e.res.Stats.Executions = int(e.executions.Load())
+	e.res.Stats.Stages = StageTimes{
+		Generation: time.Duration(e.genNS.Load()),
+		Dedupe:     time.Duration(e.dedupeNS.Load()),
+		Execution:  time.Duration(e.execNS.Load()),
+		Minimality: time.Duration(e.minNS.Load()),
+	}
+	e.res.Stats.Interrupted = e.stopped.Load()
+	e.res.Stats.Elapsed = time.Since(e.start)
+	e.prog.emit(PhaseDone, e.res.Stats.Interrupted)
+	return e.res
+}
+
+// seqTest is one generated program tagged with its generation order.
+type seqTest struct {
+	seq int64
+	t   *litmus.Test
+}
+
+// generateAndDedupe enumerates all size-n program skeletons and fans their
+// canonical-key computation out over the workers. It returns one
+// representative per symmetry class — the generation-order-first program,
+// sorted by generation order — so downstream processing is deterministic.
+func (e *engine) generateAndDedupe(n int) []progClaim {
+	claims := newClaimMap(e.opts.Workers)
+	ch := make(chan seqTest, 4*e.opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dedupeNS int64
+			for st := range ch {
+				if e.stopped.Load() {
+					continue // drain so the producer never blocks
+				}
+				t0 := time.Now()
+				if claims.Offer(canon.ProgramKey(st.t), st.seq, st.t) {
+					e.programs.Add(1)
+				}
+				dedupeNS += int64(time.Since(t0))
+			}
+			e.dedupeNS.Add(dedupeNS)
+		}()
+	}
+
+	vocab := e.model.Vocab()
+	gen := &generator{
+		vocab:         vocab,
+		opts:          e.opts,
+		pruneIsolated: !e.opts.KeepIsolatedAddrs && len(vocab.DepTypes) == 0,
+	}
+	var seq int64
+	t0 := time.Now()
+	gen.run(n, func(t *litmus.Test) bool {
+		if e.stopped.Load() {
+			return false
+		}
+		e.programsRaw.Add(1)
+		ch <- seqTest{seq: seq, t: t}
+		seq++
+		return true
+	})
+	e.genNS.Add(int64(time.Since(t0)))
+	close(ch)
+	wg.Wait()
+
+	winners := claims.Winners()
+	sort.Slice(winners, func(i, j int) bool { return winners[i].seq < winners[j].seq })
+	return winners
+}
+
+// explore fans the per-program execution exploration out over the workers
+// (work-stealing by index) and returns per-program findings aligned with
+// the winners slice.
+func (e *engine) explore(winners []progClaim) [][]foundEntry {
+	results := make([][]foundEntry, len(winners))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(winners) || e.stopped.Load() {
+					return
+				}
+				results[i] = e.processProgram(winners[i].test)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// merge folds per-program findings into the suites, in generation order,
+// reproducing the sequential engine's first-wins add order exactly.
+func (e *engine) merge(results [][]foundEntry) {
+	for _, found := range results {
+		for _, f := range found {
+			for _, ai := range f.axioms {
+				e.res.PerAxiom[e.axioms[ai].Name].add(f.entry)
+			}
+			e.res.Union.add(f.entry)
+		}
+	}
+}
+
 // processProgram explores all executions of t and applies the minimality
-// criterion; it is safe to call from multiple goroutines.
-func processProgram(m memmodel.Model, opts Options, t *litmus.Test) progOutcome {
-	var out progOutcome
-	apps := memmodel.Applications(m, t)
+// criterion; it is safe to call from multiple goroutines. On cancellation
+// mid-program the partial findings are discarded (counters keep what was
+// actually checked).
+func (e *engine) processProgram(t *litmus.Test) []foundEntry {
+	apps := memmodel.Applications(e.model, t)
+	var found []foundEntry
+	var execs, minNS, dedupeNS int64
+	completed := true
+	t0 := time.Now()
 	// sc orders are quantified inside minimal.Check (they are auxiliary,
 	// not part of the outcome), so enumeration here covers rf and co only.
 	exec.Enumerate(t, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
-		out.executions++
-		verdict := minimal.Check(m, apps, x)
+		if execs&0xFF == 0xFF && e.stopped.Load() {
+			completed = false
+			return false
+		}
+		execs++
+		m0 := time.Now()
+		verdict := minimal.Check(e.model, apps, x)
+		minNS += int64(time.Since(m0))
 		if len(verdict.ViolatedAxioms) == 0 {
 			return true
 		}
 		var key string
-		if opts.CountForbidden {
+		if e.seenForbidden != nil {
+			d0 := time.Now()
 			key = canon.Key(x)
-			out.forbiddenKeys = append(out.forbiddenKeys, key)
+			if e.seenForbidden.Claim(key) {
+				e.forbidden.Add(1)
+			}
+			dedupeNS += int64(time.Since(d0))
 		}
 		mins := verdict.MinimalFor()
 		if len(mins) == 0 {
 			return true
 		}
+		d0 := time.Now()
 		if key == "" {
 			key = canon.Key(x)
 		}
-		out.found = append(out.found, foundEntry{
+		if e.seenEntry.Claim(key) {
+			e.entries.Add(1)
+		}
+		dedupeNS += int64(time.Since(d0))
+		found = append(found, foundEntry{
 			axioms: append([]int(nil), mins...),
 			entry:  Entry{Test: t, Exec: x.Clone(), Key: key, Size: len(t.Events)},
 		})
 		return true
 	})
-	return out
-}
-
-// Synthesize runs exhaustive minimal-test synthesis for model m under the
-// given bounds.
-func Synthesize(m memmodel.Model, opts Options) *Result {
-	opts = opts.withDefaults()
-	start := time.Now()
-	vocab := m.Vocab()
-
-	res := &Result{
-		Model:    m.Name(),
-		Options:  opts,
-		PerAxiom: make(map[string]*Suite),
-		Union:    newSuite(m.Name(), "union"),
+	e.execNS.Add(int64(time.Since(t0)) - minNS - dedupeNS)
+	e.minNS.Add(minNS)
+	e.dedupeNS.Add(dedupeNS)
+	e.executions.Add(execs)
+	if !completed {
+		return nil
 	}
-	axioms := m.Axioms()
-	for _, a := range axioms {
-		res.PerAxiom[a.Name] = newSuite(m.Name(), a.Name)
-	}
-
-	seenProg := make(map[string]bool)
-	var seenForbidden map[string]bool
-	if opts.CountForbidden {
-		seenForbidden = make(map[string]bool)
-	}
-
-	collect := func(out progOutcome) {
-		res.Stats.Executions += out.executions
-		for _, k := range out.forbiddenKeys {
-			seenForbidden[k] = true
-		}
-		for _, f := range out.found {
-			for _, ai := range f.axioms {
-				res.PerAxiom[axioms[ai].Name].add(f.entry)
-			}
-			res.Union.add(f.entry)
-		}
-	}
-
-	gen := &generator{vocab: vocab, opts: opts, pruneIsolated: !opts.KeepIsolatedAddrs && len(vocab.DepTypes) == 0}
-
-	if opts.Workers <= 1 {
-		for n := opts.MinEvents; n <= opts.MaxEvents; n++ {
-			gen.run(n, func(t *litmus.Test) {
-				res.Stats.ProgramsRaw++
-				progKey := canon.ProgramKey(t)
-				if seenProg[progKey] {
-					return
-				}
-				seenProg[progKey] = true
-				res.Stats.Programs++
-				collect(processProgram(m, opts, t))
-			})
-		}
-	} else {
-		// The workers compute canonical program keys, dedupe under a
-		// short critical section, do the heavy per-program exploration,
-		// and merge results under the same mutex. The producer only
-		// enumerates program skeletons.
-		progs := make(chan *litmus.Test, 4*opts.Workers)
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		for w := 0; w < opts.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range progs {
-					progKey := canon.ProgramKey(t)
-					mu.Lock()
-					if seenProg[progKey] {
-						mu.Unlock()
-						continue
-					}
-					seenProg[progKey] = true
-					res.Stats.Programs++
-					mu.Unlock()
-					out := processProgram(m, opts, t)
-					mu.Lock()
-					collect(out)
-					mu.Unlock()
-				}
-			}()
-		}
-		for n := opts.MinEvents; n <= opts.MaxEvents; n++ {
-			gen.run(n, func(t *litmus.Test) {
-				res.Stats.ProgramsRaw++
-				progs <- t
-			})
-		}
-		close(progs)
-		wg.Wait()
-	}
-
-	res.Union.sortEntries()
-	for _, s := range res.PerAxiom {
-		s.sortEntries()
-	}
-	res.Stats.ForbiddenOutcomes = len(seenForbidden)
-	res.Stats.Elapsed = time.Since(start)
-	return res
+	return found
 }

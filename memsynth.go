@@ -35,6 +35,7 @@
 package memsynth
 
 import (
+	"context"
 	"io"
 
 	"memsynth/internal/canon"
@@ -90,7 +91,8 @@ type (
 	// RelaxSpec describes the relaxations a model admits.
 	RelaxSpec = memmodel.RelaxSpec
 
-	// Options bounds a synthesis run.
+	// Options bounds a synthesis run. Use Options.Validate to check
+	// bounds before a long run.
 	Options = synth.Options
 	// Result is the outcome of a synthesis run.
 	Result = synth.Result
@@ -98,6 +100,14 @@ type (
 	Suite = synth.Suite
 	// Entry is one synthesized test with its forbidden-outcome witness.
 	Entry = synth.Entry
+	// SynthStats reports a run's work counters, per-stage timings, and
+	// the Interrupted flag of a cancelled run.
+	SynthStats = synth.Stats
+	// StageTimes is the per-stage timing breakdown of SynthStats.
+	StageTimes = synth.StageTimes
+	// ProgressEvent is one streamed engine observation delivered to
+	// Options.Progress (phase transitions and counter snapshots).
+	ProgressEvent = synth.ProgressEvent
 
 	// Verdict reports the minimality analysis of one execution.
 	Verdict = minimal.Verdict
@@ -178,9 +188,27 @@ func DefineModel(name string, axioms []Axiom, vocab Vocab, relax RelaxSpec) Mode
 	return memmodel.Define(name, axioms, vocab, relax)
 }
 
+// Progress event phases (see ProgressEvent.Phase).
+const (
+	PhaseGenerate = synth.PhaseGenerate
+	PhaseExplore  = synth.PhaseExplore
+	PhaseTick     = synth.PhaseTick
+	PhaseDone     = synth.PhaseDone
+)
+
 // Synthesize exhaustively generates the minimal litmus-test suites of the
-// model within the given bounds (paper §5).
+// model within the given bounds (paper §5). It is a thin wrapper over
+// SynthesizeContext with a background context; it panics on invalid
+// Options.
 func Synthesize(m Model, opts Options) *Result { return synth.Synthesize(m, opts) }
+
+// SynthesizeContext is Synthesize with cancellation, deadline, and
+// progress streaming: a cancelled run stops promptly and returns the
+// partial suites found so far with Stats.Interrupted set. The only error
+// returned is an Options validation failure.
+func SynthesizeContext(ctx context.Context, m Model, opts Options) (*Result, error) {
+	return synth.SynthesizeContext(ctx, m, opts)
+}
 
 // Outcome pairs one execution of a test with its validity under a model.
 type Outcome struct {
@@ -200,6 +228,23 @@ func Outcomes(m Model, t *Test) []Outcome {
 	return out
 }
 
+// OutcomesContext is Outcomes with cancellation: it stops early when ctx
+// is done and returns the outcomes classified so far along with ctx.Err().
+func OutcomesContext(ctx context.Context, m Model, t *Test) ([]Outcome, error) {
+	var out []Outcome
+	n := 0
+	exec.Enumerate(t, exec.EnumerateOptions{UseSC: m.Vocab().UsesSC}, func(x *Execution) bool {
+		if n&63 == 0 && ctx.Err() != nil {
+			return false
+		}
+		n++
+		v := exec.NewView(x, exec.NoPerturb)
+		out = append(out, Outcome{Exec: x.Clone(), Valid: memmodel.Valid(m, v)})
+		return true
+	})
+	return out, ctx.Err()
+}
+
 // OutcomeAllowed reports whether some valid execution of t under m
 // satisfies pred.
 func OutcomeAllowed(m Model, t *Test, pred func(*Execution) bool) bool {
@@ -212,6 +257,29 @@ func OutcomeAllowed(m Model, t *Test, pred func(*Execution) bool) bool {
 		return true
 	})
 	return allowed
+}
+
+// OutcomeAllowedContext is OutcomeAllowed with cancellation: it stops
+// early when ctx is done and returns ctx.Err() (the bool is then the
+// verdict over the executions checked so far).
+func OutcomeAllowedContext(ctx context.Context, m Model, t *Test, pred func(*Execution) bool) (bool, error) {
+	allowed := false
+	n := 0
+	exec.Enumerate(t, exec.EnumerateOptions{UseSC: m.Vocab().UsesSC}, func(x *Execution) bool {
+		if n&63 == 0 && ctx.Err() != nil {
+			return false
+		}
+		n++
+		if pred(x) && memmodel.Valid(m, exec.NewView(x, exec.NoPerturb)) {
+			allowed = true
+			return false
+		}
+		return true
+	})
+	if allowed {
+		return true, nil
+	}
+	return false, ctx.Err()
 }
 
 // CheckMinimal evaluates the paper's minimality criterion for execution x.
@@ -288,6 +356,13 @@ type FaultDetection = harness.DetectionRow
 // detects — the black-box testing loop synthesized suites feed (paper §1).
 func FaultDetectionMatrix(m Model, tests []*Test) []FaultDetection {
 	return harness.DetectionMatrix(m, tests)
+}
+
+// FaultDetectionMatrixContext is FaultDetectionMatrix with cancellation:
+// it stops between machine variants when ctx is done and returns the rows
+// completed so far along with ctx.Err().
+func FaultDetectionMatrixContext(ctx context.Context, m Model, tests []*Test) ([]FaultDetection, error) {
+	return harness.DetectionMatrixContext(ctx, m, tests)
 }
 
 // CheckImplementation runs one test on an implementation (a function from
