@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench fuzz serve
 
 check: vet build race
 
@@ -22,3 +22,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short coverage-guided fuzz of the litmus text parser (CI runs the same
+# smoke); lengthen with FUZZTIME=5m for a real session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzParseLitmus -fuzztime=$(FUZZTIME) ./internal/litmus
+
+# Run the synthesis daemon locally (Ctrl-C drains in-flight jobs).
+serve:
+	$(GO) run ./cmd/memsynthd -addr :8080 -data-dir memsynthd-data

@@ -18,28 +18,56 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"memsynth"
+	"memsynth/internal/store"
 )
 
 var (
 	workers  = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
 	progress = flag.Bool("progress", false, "stream live synthesis progress to stderr")
 	timeout  = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
+	storeDir = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
 )
 
 // runCtx is the experiment-wide context (Ctrl-C cancels the runs).
 var runCtx = context.Background()
 
+// suiteStore lazily opens the -store directory once; every synthesis in a
+// multi-experiment run (e.g. -exp all) then shares the same cache, and
+// repeat invocations skip already-synthesized (model, bounds) points.
+var suiteStore = struct {
+	once sync.Once
+	st   *store.Store
+}{}
+
+func openStore() *store.Store {
+	if *storeDir == "" {
+		return nil
+	}
+	suiteStore.once.Do(func() {
+		st, err := store.Open(*storeDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		suiteStore.st = st
+	})
+	return suiteStore.st
+}
+
 // synthesize runs one synthesis with the shared -workers/-progress/-timeout
 // settings applied; an interrupted run returns its partial result with a
-// stderr note.
+// stderr note. With -store, cache hits skip the engine and fresh complete
+// results are persisted.
 func synthesize(m memsynth.Model, opts memsynth.Options) *memsynth.Result {
 	opts.Workers = *workers
 	if *progress {
@@ -59,10 +87,30 @@ func synthesize(m memsynth.Model, opts memsynth.Options) *memsynth.Result {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	st := openStore()
+	if st != nil {
+		switch ss, err := st.Get(store.Digest(m.Name(), opts)); {
+		case err == nil:
+			res, rerr := ss.Result()
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, rerr)
+				os.Exit(1)
+			}
+			return res
+		case !errors.Is(err, store.ErrNotFound):
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	res, err := memsynth.SynthesizeContext(ctx, m, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if st != nil && !res.Stats.Interrupted {
+		if _, err := st.Put(res); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: store: %v\n", err)
+		}
 	}
 	if res.Stats.Interrupted {
 		fmt.Fprintf(os.Stderr, "note: %s synthesis interrupted after %v; results are partial\n",

@@ -9,13 +9,20 @@
 //	memsynth -model tso -bound 5 -stats
 //	memsynth -model tso -bound 6 -workers 8 -progress
 //	memsynth -model power -bound 5 -timeout 30s   # partial suite on deadline
+//	memsynth -model tso -bound 4 -store ./suites  # reuse the memsynthd cache
 //
 // Synthesis honors -timeout and Ctrl-C: an interrupted run prints the
 // partial suite found so far (marked as partial in the stats line).
+//
+// With -store, the run goes through the same content-addressed suite
+// store the memsynthd daemon uses: a cache hit rehydrates the stored
+// suite (skipping synthesis entirely), and a cache miss persists the
+// fresh result for later CLI or daemon runs.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"memsynth"
+	"memsynth/internal/store"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "stream live synthesis progress to stderr")
 		stats     = flag.Bool("stats", false, "print synthesis statistics")
 		outDir    = flag.String("out", "", "write one .litmus file per test into this directory instead of stdout")
+		storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd): serve cache hits, populate on miss")
 	)
 	flag.Parse()
 
@@ -70,10 +79,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := memsynth.SynthesizeContext(ctx, model, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var st *store.Store
+	var res *memsynth.Result
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		digest := store.Digest(model.Name(), opts)
+		switch ss, err := st.Get(digest); {
+		case err == nil:
+			res, err = ss.Result()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "store hit %s (synthesized %s, engine v%s); skipping synthesis\n",
+				digest[:12], ss.Manifest.CreatedAt.Format(time.RFC3339), ss.Manifest.EngineVersion)
+		case !errors.Is(err, store.ErrNotFound):
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if res == nil {
+		res, err = memsynth.SynthesizeContext(ctx, model, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if st != nil && !res.Stats.Interrupted {
+			if ss, err := st.Put(res); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: store: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "stored suite as %s\n", ss.Manifest.Digest[:12])
+			}
+		}
 	}
 	if res.Stats.Interrupted {
 		fmt.Fprintf(os.Stderr, "synthesis interrupted after %v; printing partial suite\n", res.Stats.Elapsed.Round(time.Millisecond))

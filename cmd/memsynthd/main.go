@@ -1,0 +1,93 @@
+// Command memsynthd serves litmus-test suite synthesis over HTTP, backed
+// by a content-addressed on-disk suite store so each (model, bounds,
+// engine version) request is synthesized at most once — across clients,
+// across concurrent identical requests (single-flight), and across daemon
+// restarts. The memsynth CLI's -store flag shares the same store layout,
+// so CLI runs and daemon requests populate one cache.
+//
+// Usage:
+//
+//	memsynthd -addr :8080 -data-dir /var/lib/memsynth -max-jobs 2 -cache-entries 64
+//
+// Endpoints:
+//
+//	POST   /v1/synthesize              {"model":"tso","max_events":4}
+//	GET    /v1/jobs/{id}[?stream=1]    async job status / NDJSON progress
+//	GET    /v1/suites                  list stored suites
+//	GET    /v1/suites/{digest}         manifest (or ?format=litmus&axiom=...)
+//	DELETE /v1/suites/{digest}         evict
+//	GET    /v1/suites/{digest}/detect  x86-TSO fault-detection matrix
+//	GET    /v1/models                  built-in models
+//	GET    /healthz, /metrics          probes
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, waits for
+// in-flight requests and async jobs to drain (bounded by -drain-timeout),
+// then cancels whatever remains. A second signal forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memsynth/internal/server"
+	"memsynth/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		dataDir      = flag.String("data-dir", "memsynthd-data", "suite store directory")
+		maxJobs      = flag.Int("max-jobs", server.DefaultMaxJobs, "maximum concurrent synthesis engine runs")
+		cacheEntries = flag.Int("cache-entries", store.DefaultCacheEntries, "in-memory suite cache capacity")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*dataDir, *cacheEntries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("memsynthd listening on %s (store %s, max-jobs %d, cache %d)",
+		*addr, *dataDir, *maxJobs, *cacheEntries)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("memsynthd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process outright
+	log.Printf("memsynthd: shutting down (draining up to %v)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("memsynthd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("memsynthd: job drain: %v", err)
+	}
+	srv.Close()
+	log.Printf("memsynthd: bye")
+}

@@ -109,6 +109,28 @@ func (x *Execution) OutcomeString() string {
 	return strings.Join(parts, " ")
 }
 
+// OutcomeConds projects the observable outcome onto litmus outcome
+// conditions — one read observation per read in event order plus one final
+// value per written address — the form the textual forbid: directive uses.
+// It is the serialization counterpart of OutcomeString used when suites
+// are persisted as parseable litmus text.
+func (x *Execution) OutcomeConds() []litmus.OutcomeCond {
+	var conds []litmus.OutcomeCond
+	for _, e := range x.Test.Events {
+		if e.Kind == litmus.KRead {
+			conds = append(conds, litmus.OutcomeCond{
+				Thread: e.Thread, Index: e.Index, Value: x.ReadValue(e.ID),
+			})
+		}
+	}
+	for a := 0; a < x.Test.NumAddrs(); a++ {
+		if a < len(x.CO) && len(x.CO[a]) > 0 {
+			conds = append(conds, litmus.OutcomeCond{Final: true, Addr: a, Value: x.FinalValue(a)})
+		}
+	}
+	return conds
+}
+
 // String renders the execution with its test name and outcome.
 func (x *Execution) String() string {
 	return fmt.Sprintf("%s / %s", x.Test.Name, x.OutcomeString())

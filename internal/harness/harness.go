@@ -157,6 +157,27 @@ type DetectionRow struct {
 	FirstTest *litmus.Test
 }
 
+// DetectionSummary is the serialization-friendly projection of a
+// DetectionRow: fault and first detecting test flattened to strings, with
+// JSON tags for API responses (memsynthd's detect endpoint).
+type DetectionSummary struct {
+	Fault     string `json:"fault"`
+	Detected  bool   `json:"detected"`
+	FirstTest string `json:"first_test,omitempty"`
+}
+
+// Summarize projects detection rows onto their serializable summaries.
+func Summarize(rows []DetectionRow) []DetectionSummary {
+	out := make([]DetectionSummary, len(rows))
+	for i, r := range rows {
+		out[i] = DetectionSummary{Fault: r.Fault.String(), Detected: r.Detected}
+		if r.FirstTest != nil {
+			out[i].FirstTest = r.FirstTest.String()
+		}
+	}
+	return out
+}
+
 // DetectionMatrix runs the suite against every seeded fault of the x86-TSO
 // machine and reports which are caught. The correct machine (FaultNone)
 // must produce no violations; it is checked first and reported as a row

@@ -1,0 +1,82 @@
+package litmus_test
+
+import (
+	"strings"
+	"testing"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/synth"
+)
+
+// FuzzParseLitmus drives Parse with arbitrary inputs and checks the
+// print/parse round-trip contract the suite store depends on:
+//
+//   - Parse never panics (malformed input returns an error);
+//   - any spec Parse accepts reformats to text Parse accepts again;
+//   - formatting is a fixed point from the first reparse on — Parse
+//     renumbers addresses by first textual use, so the second formatting
+//     and every one after it are byte-identical;
+//   - the forbid: conditions survive the round-trip.
+//
+// Seeds cover the grammar (orders, fences, scopes, deps, RMWs, groups,
+// outcome conditions, comments) plus a printed engine-synthesized suite,
+// so the corpus starts from exactly the text the store writes to disk.
+func FuzzParseLitmus(f *testing.F) {
+	seeds := []string{
+		"T0: St x; St y\nT1: Ld y; Ld x\nforbid: 1:0=1 1:1=0\n",
+		"name: MP+rel+acq\nT0: St x; St.rel y\nT1: Ld.acq y; Ld x\nforbid: 1:0=1 1:1=0\n",
+		"# store-buffering with fences\nname: SB+mfences\nT0: St x; F.mfence; Ld y\nT1: St y; F.mfence; Ld x\nforbid: 0:2=0 1:2=0\n",
+		"T0: St.sc x; Ld.con y; St.acqrel z\nT1: F.sync; F.lwsync; F.isync; Ld.rlx x\n",
+		"T0: Ld x; Ld y\ndep: 0:0 -> 0:1 addr\nforbid: 0:0=1 0:1=0\n",
+		"T0: St x; Ld y\ndep: 0:0 -> 0:1 data\nT1: Ld y\ndep: 1:0 -> 1:0 ctrl\n",
+		"T0: Ld x; St x\nrmw: 0:0\nforbid: [x]=2\n",
+		"T0: St x @wg; Ld y @sys\nT1: F.acqrel @wg\ngroups: 0 0\n",
+		"T0: St a; St b; St c; St d\nforbid: [a]=1 [d]=1\n",
+		"T1: Ld y\nT0: Ld x\n",     // threads out of textual order
+		"T0: Ld zz; Ld zz\n",       // repeated address, non-canonical name
+		"T0: St x\nforbid: [x]=-1", // negative value, no trailing newline
+		"",
+		"T0:",
+		"T0: @wg", // scope with empty instruction (former panic)
+		"T0: Ld",  // missing operand
+		"T0: F.mfence x; Ld x",
+		"garbage",
+		"name only\nT0; Ld x",
+		"T0: Ld x\nforbid: 0:0=",
+	}
+	sc, err := memmodel.ByName("sc")
+	if err != nil {
+		f.Fatal(err)
+	}
+	res := synth.Synthesize(sc, synth.Options{MaxEvents: 3})
+	for _, e := range res.Union.Entries {
+		seeds = append(seeds, litmus.FormatSpec(&litmus.Spec{Test: e.Test, Forbid: e.Exec.OutcomeConds()}))
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := litmus.Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		s1 := litmus.FormatSpec(spec)
+		spec2, err := litmus.Parse(strings.NewReader(s1))
+		if err != nil {
+			t.Fatalf("reformatted spec does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, input, s1)
+		}
+		if len(spec2.Forbid) != len(spec.Forbid) {
+			t.Fatalf("forbid conditions lost in round-trip: %d -> %d\ninput:\n%s", len(spec.Forbid), len(spec2.Forbid), input)
+		}
+		s2 := litmus.FormatSpec(spec2)
+		spec3, err := litmus.Parse(strings.NewReader(s2))
+		if err != nil {
+			t.Fatalf("second formatting does not reparse: %v\nformatted:\n%s", err, s2)
+		}
+		if s3 := litmus.FormatSpec(spec3); s3 != s2 {
+			t.Fatalf("formatting is not a fixed point after first reparse:\nsecond:\n%s\nthird:\n%s\ninput:\n%s", s2, s3, input)
+		}
+	})
+}

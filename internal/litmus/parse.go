@@ -200,6 +200,9 @@ func parseOp(tok string, addrOf func(string) int) (Op, error) {
 		tok = strings.TrimSpace(tok[:at])
 	}
 	fields := strings.Fields(tok)
+	if len(fields) == 0 {
+		return Op{}, fmt.Errorf("empty instruction")
+	}
 	mnemonic := fields[0]
 	base, suffix, _ := strings.Cut(mnemonic, ".")
 	switch base {
@@ -343,6 +346,87 @@ func parseForbid(s string, addrs map[string]int) ([]OutcomeCond, error) {
 		return nil, fmt.Errorf("empty forbid specification")
 	}
 	return conds, nil
+}
+
+// FormatOutcome renders outcome conditions in the forbid: grammar
+// ("T:I=v" read observations, "[addr]=v" final values).
+func FormatOutcome(conds []OutcomeCond) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		if c.Final {
+			parts[i] = fmt.Sprintf("[%s]=%d", AddrName(c.Addr), c.Value)
+		} else {
+			parts[i] = fmt.Sprintf("%d:%d=%d", c.Thread, c.Index, c.Value)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatSpec renders a spec — the test followed by its forbid: directive
+// when one is present — in the textual format accepted by Parse.
+func FormatSpec(s *Spec) string {
+	out := Format(s.Test)
+	if len(s.Forbid) > 0 {
+		out += "forbid: " + FormatOutcome(s.Forbid) + "\n"
+	}
+	return out
+}
+
+// FormatSuite renders specs as a multi-test suite file: FormatSpec blocks
+// separated by one blank line. The output reparses with ParseSuite, and
+// formatting is a fixed point from the first reparse on (addresses are
+// renumbered in order of first textual use), so store round-trips of
+// engine-produced suites are byte-identical.
+func FormatSuite(specs []*Spec) string {
+	blocks := make([]string, len(specs))
+	for i, s := range specs {
+		blocks[i] = FormatSpec(s)
+	}
+	return strings.Join(blocks, "\n")
+}
+
+// ParseSuite reads a multi-test suite file: litmus specs separated by one
+// or more blank lines. Comment-only blocks are ignored.
+func ParseSuite(r io.Reader) ([]*Spec, error) {
+	scanner := bufio.NewScanner(r)
+	var specs []*Spec
+	var block []string
+	content := false // block has a non-comment line
+	flush := func() error {
+		if !content {
+			block = block[:0]
+			return nil
+		}
+		spec, err := Parse(strings.NewReader(strings.Join(block, "\n")))
+		if err != nil {
+			return fmt.Errorf("litmus: suite test %d: %w", len(specs)+1, err)
+		}
+		specs = append(specs, spec)
+		block = block[:0]
+		content = false
+		return nil
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "#") {
+			content = true
+		}
+		block = append(block, line)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return specs, nil
 }
 
 // Format renders t in the textual format accepted by Parse.

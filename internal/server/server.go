@@ -1,0 +1,416 @@
+// Package server exposes the synthesis engine as an HTTP service backed by
+// the content-addressed suite store (internal/store).
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST   /v1/synthesize            synthesize or fetch a cached suite
+//	                                 (async job mode with {"async": true})
+//	GET    /v1/jobs/{id}             job status; ?stream=1 streams NDJSON
+//	                                 progress snapshots until completion
+//	GET    /v1/suites                list stored suites
+//	GET    /v1/suites/{digest}       manifest; ?format=litmus serves the
+//	                                 suite text (?axiom= selects a suite)
+//	DELETE /v1/suites/{digest}       evict a stored suite
+//	GET    /v1/suites/{digest}/detect  run the x86-TSO fault-detection
+//	                                 matrix over the stored union suite
+//	GET    /v1/models                built-in models and their axioms
+//	GET    /healthz                  liveness probe
+//	GET    /metrics                  expvar counters (JSON)
+//
+// Identical concurrent synthesize requests are coalesced single-flight
+// style onto one engine run; completed runs are persisted to the store, so
+// a result is computed at most once per (model, bounds, engine version)
+// across the daemon's lifetime and across restarts. Engine runs are
+// bounded by a semaphore, and a run whose waiters have all disconnected is
+// cancelled through its context.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"memsynth/internal/harness"
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/store"
+	"memsynth/internal/synth"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the backing suite store (required).
+	Store *store.Store
+	// MaxJobs bounds concurrent engine runs (default 2).
+	MaxJobs int
+}
+
+// DefaultMaxJobs is the engine-run concurrency bound when Config.MaxJobs
+// is not positive. Each run already fans out over all CPUs internally, so
+// a small number of concurrent runs saturates the machine.
+const DefaultMaxJobs = 2
+
+// metrics is the per-server expvar counter set, served at /metrics. The
+// counters live in a private expvar.Map (not the process-global registry)
+// so multiple servers — e.g. under test — never collide.
+type metrics struct {
+	all *expvar.Map
+	// hits/misses count store lookups of synthesize requests; coalesced
+	// counts requests that joined an in-flight identical run; synthRuns
+	// counts actual engine runs started.
+	hits, misses, coalesced, synthRuns *expvar.Int
+	// inflight is the gauge of engine runs currently executing.
+	inflight *expvar.Int
+	// requests / latencyNS accumulate synthesize request count and
+	// wall-clock service time.
+	requests, latencyNS  *expvar.Int
+	jobsActive, jobsDone *expvar.Int
+}
+
+func newMetrics() *metrics {
+	m := &metrics{all: new(expvar.Map).Init()}
+	mk := func(name string) *expvar.Int {
+		v := new(expvar.Int)
+		m.all.Set(name, v)
+		return v
+	}
+	m.hits = mk("store_hits")
+	m.misses = mk("store_misses")
+	m.coalesced = mk("coalesced_requests")
+	m.synthRuns = mk("synth_runs")
+	m.inflight = mk("inflight_runs")
+	m.requests = mk("synthesize_requests")
+	m.latencyNS = mk("synthesize_latency_ns")
+	m.jobsActive = mk("jobs_active")
+	m.jobsDone = mk("jobs_done")
+	return m
+}
+
+// Server is the memsynthd HTTP service. Create with New, mount
+// Handler(), and on shutdown call Drain then Close.
+type Server struct {
+	store   *store.Store
+	sem     chan struct{}
+	metrics *metrics
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	flights    *flightGroup
+	jobs       *jobSet
+	// synthFn runs one synthesis; tests swap it to observe or fake runs.
+	synthFn func(ctx context.Context, m memmodel.Model, opts synth.Options) (*synth.Result, error)
+}
+
+// New builds a Server over cfg.Store.
+func New(cfg Config) *Server {
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	s := &Server{
+		store:   cfg.Store,
+		sem:     make(chan struct{}, maxJobs),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		synthFn: synth.SynthesizeContext,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.flights = newFlightGroup()
+	s.jobs = newJobSet()
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
+	s.mux.HandleFunc("GET /v1/suites/{digest}", s.handleSuiteGet)
+	s.mux.HandleFunc("DELETE /v1/suites/{digest}", s.handleSuiteEvict)
+	s.mux.HandleFunc("GET /v1/suites/{digest}/detect", s.handleSuiteDetect)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain blocks until every async job has completed, or ctx expires.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.wait(ctx) }
+
+// Close cancels every in-flight engine run. Call after Drain on graceful
+// shutdown (or alone on abort).
+func (s *Server) Close() { s.baseCancel() }
+
+// --- request/response shapes ---
+
+// SynthesizeRequest is the POST /v1/synthesize body. The embedded
+// RequestOptions carry the synthesis bounds.
+type SynthesizeRequest struct {
+	Model string `json:"model"`
+	store.RequestOptions
+	// Async enqueues a job and returns 202 with its ID instead of
+	// blocking until the suite is ready.
+	Async bool `json:"async,omitempty"`
+	// Axiom selects which suite the response carries (default "union").
+	Axiom string `json:"axiom,omitempty"`
+	// Format selects the response body: "json" (default, a summary) or
+	// "litmus" (the suite text, byte-identical across cache hits).
+	Format string `json:"format,omitempty"`
+}
+
+// SynthesizeResponse is the JSON summary of a synthesize request.
+type SynthesizeResponse struct {
+	Digest        string              `json:"digest"`
+	Model         string              `json:"model"`
+	EngineVersion string              `json:"engine_version"`
+	Cached        bool                `json:"cached"`
+	Stats         store.StatsManifest `json:"stats"`
+	// Suites maps suite name ("union" or axiom) to its test count.
+	Suites map[string]int `json:"suites"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.all.String())
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	type modelInfo struct {
+		Name        string   `json:"name"`
+		Axioms      []string `json:"axioms"`
+		Relaxations []string `json:"relaxations"`
+	}
+	var out []modelInfo
+	for _, m := range memmodel.All() {
+		info := modelInfo{Name: m.Name(), Relaxations: memmodel.RelaxationTags(m)}
+		for _, a := range m.Axioms() {
+			info.Axioms = append(info.Axioms, a.Name)
+		}
+		sort.Strings(info.Axioms)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.metrics.requests.Add(1)
+	defer func() { s.metrics.latencyNS.Add(int64(time.Since(t0))) }()
+
+	var req SynthesizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	model, err := memmodel.ByName(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := req.RequestOptions.SynthOptions()
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch req.Format {
+	case "", "json", "litmus":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or litmus)", req.Format)
+		return
+	}
+	digest := store.Digest(model.Name(), opts)
+
+	if req.Async {
+		job := s.startJob(model, opts, digest)
+		writeJSON(w, http.StatusAccepted, job.status())
+		return
+	}
+
+	ss, cached, err := s.synthesize(r.Context(), model, opts, digest, nil)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			// Client went away; the response is written into the void.
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeSuite(w, req, ss, cached)
+}
+
+// writeSuite renders a synthesize response in the requested format.
+func (s *Server) writeSuite(w http.ResponseWriter, req SynthesizeRequest, ss *store.StoredSuite, cached bool) {
+	w.Header().Set("X-Memsynth-Digest", ss.Manifest.Digest)
+	w.Header().Set("X-Memsynth-Cached", fmt.Sprintf("%t", cached))
+	if req.Format == "litmus" {
+		axiom := req.Axiom
+		if axiom == "" {
+			axiom = store.UnionSuite
+		}
+		text, ok := ss.Text(axiom)
+		if !ok {
+			writeError(w, http.StatusNotFound, "model %s has no suite %q", ss.Manifest.Model, axiom)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+		return
+	}
+	writeJSON(w, http.StatusOK, synthesizeResponse(ss, cached))
+}
+
+func synthesizeResponse(ss *store.StoredSuite, cached bool) SynthesizeResponse {
+	resp := SynthesizeResponse{
+		Digest:        ss.Manifest.Digest,
+		Model:         ss.Manifest.Model,
+		EngineVersion: ss.Manifest.EngineVersion,
+		Cached:        cached,
+		Stats:         ss.Manifest.Stats,
+		Suites:        make(map[string]int, len(ss.Manifest.Suites)),
+	}
+	for name, sm := range ss.Manifest.Suites {
+		resp.Suites[name] = sm.Tests
+	}
+	return resp
+}
+
+func (s *Server) handleSuiteList(w http.ResponseWriter, _ *http.Request) {
+	manifests, err := s.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	type listed struct {
+		Digest        string               `json:"digest"`
+		Model         string               `json:"model"`
+		EngineVersion string               `json:"engine_version"`
+		CreatedAt     time.Time            `json:"created_at"`
+		Options       store.RequestOptions `json:"options"`
+		Tests         int                  `json:"tests"`
+	}
+	out := make([]listed, 0, len(manifests))
+	for _, m := range manifests {
+		out = append(out, listed{
+			Digest:        m.Digest,
+			Model:         m.Model,
+			EngineVersion: m.EngineVersion,
+			CreatedAt:     m.CreatedAt,
+			Options:       m.Options,
+			Tests:         m.Suites[store.UnionSuite].Tests,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSuiteGet(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	ss, err := s.store.Get(digest)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no suite with digest %s", digest)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("format") == "litmus" {
+		axiom := r.URL.Query().Get("axiom")
+		if axiom == "" {
+			axiom = store.UnionSuite
+		}
+		text, ok := ss.Text(axiom)
+		if !ok {
+			writeError(w, http.StatusNotFound, "suite %s has no axiom %q (have: %v)",
+				digest, axiom, ss.SuiteNames())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Memsynth-Digest", digest)
+		fmt.Fprint(w, text)
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.Manifest)
+}
+
+func (s *Server) handleSuiteEvict(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	err := s.store.Evict(digest)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no suite with digest %s", digest)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSuiteDetect(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	ss, err := s.store.Get(digest)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no suite with digest %s", digest)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	res, err := ss.Result()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	model, err := memmodel.ByName(ss.Manifest.Model)
+	if err != nil {
+		writeError(w, http.StatusConflict, "stored model is not built in: %v", err)
+		return
+	}
+	tests := make([]*litmus.Test, 0, len(res.Union.Entries))
+	for _, e := range res.Union.Entries {
+		tests = append(tests, e.Test)
+	}
+	rows, err := harness.DetectionMatrixContext(r.Context(), model, tests)
+	if err != nil {
+		// Client cancelled mid-matrix; nothing useful to write.
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Digest string                     `json:"digest"`
+		Model  string                     `json:"model"`
+		Tests  int                        `json:"tests"`
+		Rows   []harness.DetectionSummary `json:"rows"`
+	}{Digest: digest, Model: model.Name(), Tests: len(tests), Rows: harness.Summarize(rows)})
+}

@@ -1,0 +1,52 @@
+package store
+
+import "container/list"
+
+// lruCache is a non-concurrent LRU map from digest to *StoredSuite; the
+// Store serializes access under its mutex.
+type lruCache struct {
+	max   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	digest string
+	ss     *StoredSuite
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(digest string) (*StoredSuite, bool) {
+	el, ok := c.items[digest]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).ss, true
+}
+
+func (c *lruCache) add(digest string, ss *StoredSuite) {
+	if el, ok := c.items[digest]; ok {
+		el.Value.(*lruEntry).ss = ss
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[digest] = c.order.PushFront(&lruEntry{digest: digest, ss: ss})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).digest)
+	}
+}
+
+func (c *lruCache) remove(digest string) {
+	if el, ok := c.items[digest]; ok {
+		c.order.Remove(el)
+		delete(c.items, digest)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,217 @@
+// Package store is a content-addressed, on-disk store of synthesized
+// litmus-test suites, shared by the memsynthd daemon and the memsynth CLI.
+//
+// Each entry is keyed by the digest of its synthesis request (model name +
+// normalized bounds + engine version, see Digest) and holds the suites as
+// parseable litmus text plus a JSON manifest carrying stats, timings, and
+// per-entry witness relations — enough to rehydrate a full *synth.Result
+// without re-running the engine. Writes are atomic (write into a temp
+// directory, then rename into place), so a crashed writer never leaves a
+// half-entry under a digest and concurrent writers of the same digest
+// converge on one winner. Reads go through a bounded in-memory LRU cache.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"memsynth/internal/synth"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound reports a digest with no stored entry.
+	ErrNotFound = errors.New("store: suite not found")
+	// ErrPartialResult reports an attempt to persist an interrupted run.
+	ErrPartialResult = errors.New("store: refusing to persist interrupted (partial) result")
+)
+
+// DefaultCacheEntries is the LRU capacity used when Open is given a
+// non-positive cache size.
+const DefaultCacheEntries = 64
+
+// Store is a content-addressed suite store rooted at one directory. It is
+// safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	cache *lruCache
+}
+
+// Open creates (if needed) and opens a store rooted at dir, with an
+// in-memory read cache of cacheEntries suites (<= 0 selects
+// DefaultCacheEntries).
+func Open(dir string, cacheEntries int) (*Store, error) {
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
+	for _, sub := range []string{objectsDir(dir), tmpDir(dir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	return &Store{dir: dir, cache: newLRU(cacheEntries)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func objectsDir(root string) string        { return filepath.Join(root, "objects") }
+func tmpDir(root string) string            { return filepath.Join(root, "tmp") }
+func (s *Store) entryDir(dg string) string { return filepath.Join(objectsDir(s.dir), dg) }
+
+// Get returns the stored suite for digest, from the read cache when warm,
+// otherwise from disk (warming the cache). It returns ErrNotFound when no
+// entry exists.
+func (s *Store) Get(digest string) (*StoredSuite, error) {
+	s.mu.Lock()
+	if ss, ok := s.cache.get(digest); ok {
+		s.mu.Unlock()
+		return ss, nil
+	}
+	s.mu.Unlock()
+
+	ss, err := s.load(digest)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache.add(digest, ss)
+	s.mu.Unlock()
+	return ss, nil
+}
+
+// load reads one entry from disk.
+func (s *Store) load(digest string) (*StoredSuite, error) {
+	dir := s.entryDir(digest)
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("store: digest %s: bad manifest: %w", digest, err)
+	}
+	if m.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("store: digest %s: unsupported format version %d (want %d)",
+			digest, m.FormatVersion, formatVersion)
+	}
+	ss := &StoredSuite{Manifest: &m, Texts: make(map[string]string, len(m.Suites))}
+	for name, sm := range m.Suites {
+		text, err := os.ReadFile(filepath.Join(dir, sm.File))
+		if err != nil {
+			return nil, fmt.Errorf("store: digest %s: suite %q: %w", digest, name, err)
+		}
+		ss.Texts[name] = string(text)
+	}
+	return ss, nil
+}
+
+// Put persists a completed synthesis result under its request digest and
+// returns the stored form. Storing is first-wins: if the digest already
+// exists (another writer raced us to the rename), the existing entry is
+// returned. Interrupted results are rejected with ErrPartialResult.
+func (s *Store) Put(res *synth.Result) (*StoredSuite, error) {
+	ss, err := Encode(res)
+	if err != nil {
+		return nil, err
+	}
+	digest := ss.Manifest.Digest
+
+	staging, err := os.MkdirTemp(tmpDir(s.dir), digest[:12]+"-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: put: %w", err)
+	}
+	defer os.RemoveAll(staging) // no-op after a successful rename
+
+	manifest, err := json.MarshalIndent(ss.Manifest, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: put: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(staging, "manifest.json"), append(manifest, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("store: put: %w", err)
+	}
+	for name, sm := range ss.Manifest.Suites {
+		if err := os.WriteFile(filepath.Join(staging, sm.File), []byte(ss.Texts[name]), 0o644); err != nil {
+			return nil, fmt.Errorf("store: put: %w", err)
+		}
+	}
+
+	if err := os.Rename(staging, s.entryDir(digest)); err != nil {
+		// A concurrent Put of the same digest won the rename; serve the
+		// winner (contents are equivalent by content addressing).
+		if existing, loadErr := s.load(digest); loadErr == nil {
+			s.mu.Lock()
+			s.cache.add(digest, existing)
+			s.mu.Unlock()
+			return existing, nil
+		}
+		return nil, fmt.Errorf("store: put: %w", err)
+	}
+	s.mu.Lock()
+	s.cache.add(digest, ss)
+	s.mu.Unlock()
+	return ss, nil
+}
+
+// List returns the manifests of every stored entry, newest first (ties
+// broken by digest for determinism).
+func (s *Store) List() ([]*Manifest, error) {
+	entries, err := os.ReadDir(objectsDir(s.dir))
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var manifests []*Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ss, err := s.load(e.Name())
+		if err != nil {
+			// Skip foreign or torn directories rather than failing the
+			// whole listing; Get on them still reports the precise error.
+			continue
+		}
+		manifests = append(manifests, ss.Manifest)
+	}
+	sort.Slice(manifests, func(i, j int) bool {
+		if !manifests[i].CreatedAt.Equal(manifests[j].CreatedAt) {
+			return manifests[i].CreatedAt.After(manifests[j].CreatedAt)
+		}
+		return manifests[i].Digest < manifests[j].Digest
+	})
+	return manifests, nil
+}
+
+// Evict removes the entry for digest from the cache and from disk. It
+// returns ErrNotFound when no entry exists.
+func (s *Store) Evict(digest string) error {
+	s.mu.Lock()
+	s.cache.remove(digest)
+	s.mu.Unlock()
+	dir := s.entryDir(digest)
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return ErrNotFound
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: evict: %w", err)
+	}
+	return nil
+}
+
+// CacheLen returns the current number of cached suites (for tests and
+// metrics).
+func (s *Store) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/synth"
+)
+
+// synthesizeSC runs a small deterministic synthesis used as test fixture.
+func synthesizeSC(tb testing.TB, maxEvents int) *synth.Result {
+	tb.Helper()
+	m, err := memmodel.ByName("sc")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return synth.Synthesize(m, synth.Options{MaxEvents: maxEvents})
+}
+
+func TestDigestNormalization(t *testing.T) {
+	base := synth.Options{MaxEvents: 4}
+	d1 := Digest("sc", base)
+	// Engine tuning must not change the address.
+	d2 := Digest("sc", synth.Options{MaxEvents: 4, Workers: 7, ProgressInterval: 123})
+	if d1 != d2 {
+		t.Errorf("digest depends on engine tuning: %s vs %s", d1, d2)
+	}
+	// Explicit defaults hash like omitted defaults.
+	d3 := Digest("sc", synth.Options{MaxEvents: 4, MinEvents: 2, MaxThreads: 4, MaxAddrs: 3, MaxDeps: 2, MaxRMWs: 1})
+	if d1 != d3 {
+		t.Errorf("digest distinguishes explicit defaults: %s vs %s", d1, d3)
+	}
+	// Semantic knobs must change it.
+	for name, other := range map[string]string{
+		"model":  Digest("tso", base),
+		"bound":  Digest("sc", synth.Options{MaxEvents: 5}),
+		"addrs":  Digest("sc", synth.Options{MaxEvents: 4, MaxAddrs: 2}),
+		"fences": Digest("sc", synth.Options{MaxEvents: 4, KeepTrivialFences: true}),
+	} {
+		if other == d1 {
+			t.Errorf("digest ignores %s", name)
+		}
+	}
+	if len(d1) != 64 {
+		t.Errorf("digest length = %d, want 64 hex chars", len(d1))
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	res := synthesizeSC(t, 4)
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, err := s.Put(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest(res.Model, res.Options)
+	if put.Manifest.Digest != digest {
+		t.Fatalf("stored digest %s, want %s", put.Manifest.Digest, digest)
+	}
+
+	got, err := s.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := got.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rt.Union.Entries) != len(res.Union.Entries) {
+		t.Fatalf("union size %d, want %d", len(rt.Union.Entries), len(res.Union.Entries))
+	}
+	for i, e := range res.Union.Entries {
+		r := rt.Union.Entries[i]
+		if r.Key != e.Key || r.Size != e.Size {
+			t.Fatalf("entry %d: (key,size) = (%s,%d), want (%s,%d)", i, r.Key, r.Size, e.Key, e.Size)
+		}
+		if litmus.Format(r.Test) != litmus.Format(e.Test) {
+			t.Fatalf("entry %d test round-trip mismatch:\n%s\nvs\n%s",
+				i, litmus.Format(r.Test), litmus.Format(e.Test))
+		}
+		if r.Exec.OutcomeString() != e.Exec.OutcomeString() {
+			t.Fatalf("entry %d witness mismatch: %q vs %q",
+				i, r.Exec.OutcomeString(), e.Exec.OutcomeString())
+		}
+	}
+	if len(rt.PerAxiom) != len(res.PerAxiom) {
+		t.Fatalf("per-axiom count %d, want %d", len(rt.PerAxiom), len(res.PerAxiom))
+	}
+	for name, suite := range res.PerAxiom {
+		if got := rt.PerAxiom[name]; got == nil || len(got.Entries) != len(suite.Entries) {
+			t.Errorf("axiom %s not round-tripped", name)
+		}
+	}
+	if rt.Stats.Programs != res.Stats.Programs || rt.Stats.Executions != res.Stats.Executions {
+		t.Errorf("stats not round-tripped: %+v vs %+v", rt.Stats, res.Stats)
+	}
+
+	// The stored text itself is a fixed point: parse + reformat is
+	// byte-identical, so repeated store round-trips cannot drift.
+	text := got.Texts[UnionSuite]
+	specs, err := litmus.ParseSuite(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reformatted := litmus.FormatSuite(specs); reformatted != text {
+		t.Errorf("stored union text is not a formatting fixed point:\n%q\nvs\n%q", text, reformatted)
+	}
+}
+
+func TestGetSurvivesReopen(t *testing.T) {
+	res := synthesizeSC(t, 4)
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, err := s1.Put(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(put.Manifest.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Texts[UnionSuite] != put.Texts[UnionSuite] {
+		t.Error("union text changed across reopen")
+	}
+	if _, err := got.Result(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(strings.Repeat("0", 64)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get on empty store: %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutRejectsPartialResult(t *testing.T) {
+	res := synthesizeSC(t, 3)
+	res.Stats.Interrupted = true
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(res); !errors.Is(err, ErrPartialResult) {
+		t.Errorf("Put(interrupted) = %v, want ErrPartialResult", err)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	res := synthesizeSC(t, 3)
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, err := s.Put(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := put.Manifest.Digest
+	if err := s.Evict(digest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(digest); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Evict: %v, want ErrNotFound", err)
+	}
+	if err := s.Evict(digest); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Evict: %v, want ErrNotFound", err)
+	}
+}
+
+func TestListAndLRUBound(t *testing.T) {
+	sc3 := synthesizeSC(t, 3)
+	sc4 := synthesizeSC(t, 4)
+	s, err := Open(t.TempDir(), 1) // cache holds one entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(sc3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(sc4); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CacheLen(); n != 1 {
+		t.Errorf("cache len = %d, want 1 (bounded)", n)
+	}
+	// The evicted-from-cache entry is still served from disk.
+	if _, err := s.Get(Digest("sc", synth.Options{MaxEvents: 3})); err != nil {
+		t.Fatal(err)
+	}
+	manifests, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifests) != 2 {
+		t.Fatalf("List returned %d entries, want 2", len(manifests))
+	}
+	for _, m := range manifests {
+		if m.Model != "sc" || m.EngineVersion != synth.EngineVersion {
+			t.Errorf("bad listed manifest: %+v", m)
+		}
+	}
+}
+
+func TestPutFirstWinsOnRaceLeftovers(t *testing.T) {
+	// Simulate a lost rename race: the entry dir already exists.
+	res := synthesizeSC(t, 3)
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Put(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Put(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Manifest.Digest != first.Manifest.Digest {
+		t.Errorf("second Put digest %s, want %s", second.Manifest.Digest, first.Manifest.Digest)
+	}
+	// No staging garbage left behind.
+	leftovers, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("tmp dir has %d leftovers", len(leftovers))
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	res := synthesizeSC(b, 4)
+	dir := b.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	put, err := s.Put(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digest := put.Manifest.Digest
+
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Get(digest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cold, err := Open(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := cold.Get(digest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package suites
+
+import (
+	"testing"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/litmus"
+)
+
+// mpExec returns the canonical MP test (writes on thread 0, reads on
+// thread 1) with its forbidden execution: the read of y observes the
+// write, the read of x observes the initial value.
+func mpExec() *exec.Execution {
+	t := litmus.New("MP", [][]litmus.Op{
+		{W(0), W(1)},
+		{R(1), R(0)},
+	})
+	return mkExec(t, map[int]int{2: 1, 3: -1}, nil)
+}
+
+// mpExecSwapped is mpExec with the two threads listed in the other order —
+// the same test up to thread renaming.
+func mpExecSwapped() *exec.Execution {
+	t := litmus.New("MP.swapped", [][]litmus.Op{
+		{R(1), R(0)},
+		{W(0), W(1)},
+	})
+	return mkExec(t, map[int]int{0: 3, 1: -1}, nil)
+}
+
+func TestFindContainedEmptySuite(t *testing.T) {
+	big := mpExec()
+	if got := FindContained(big, nil); got != -1 {
+		t.Errorf("FindContained(big, nil) = %d, want -1", got)
+	}
+	if got := FindContained(big, []*exec.Execution{}); got != -1 {
+		t.Errorf("FindContained(big, []) = %d, want -1", got)
+	}
+}
+
+func TestFindContainedDuplicateTests(t *testing.T) {
+	big := mpExec()
+	dup := []*exec.Execution{mpExec(), mpExec(), mpExec()}
+	if got := FindContained(big, dup); got != 0 {
+		t.Errorf("FindContained over duplicates = %d, want 0 (first match)", got)
+	}
+}
+
+// TestContainsThreadRenaming: containment must be insensitive to thread
+// numbering — the embedding maps threads injectively, not identically.
+func TestContainsThreadRenaming(t *testing.T) {
+	a, b := mpExec(), mpExecSwapped()
+	if !Contains(a, b) {
+		t.Error("MP does not contain its thread-renamed variant")
+	}
+	if !Contains(b, a) {
+		t.Error("thread-renamed MP does not contain MP")
+	}
+}
+
+// TestContainsAddressPattern: the embedding must preserve the
+// address-equality pattern in both directions — distinct small addresses
+// cannot collapse onto one big address.
+func TestContainsAddressPattern(t *testing.T) {
+	twoAddrs := litmus.New("2W", [][]litmus.Op{
+		{W(0)},
+		{W(1)},
+	})
+	oneAddr := litmus.New("WW", [][]litmus.Op{
+		{W(0)},
+		{W(0)},
+	})
+	small := mkExec(twoAddrs, nil, nil)
+	big := mkExec(oneAddr, nil, map[int][]int{0: {0, 1}})
+	if Contains(big, small) {
+		t.Error("distinct-address pair embedded into a same-address pair")
+	}
+}
+
+// TestContainsRFMismatch: the same program does not contain itself under a
+// different execution — rf must agree, not just the instructions.
+func TestContainsRFMismatch(t *testing.T) {
+	observed := mpExec()
+	tt := litmus.New("MP", [][]litmus.Op{
+		{W(0), W(1)},
+		{R(1), R(0)},
+	})
+	allInitial := mkExec(tt, map[int]int{2: -1, 3: -1}, nil)
+	if Contains(allInitial, observed) {
+		t.Error("execution whose read observes the write embedded into one reading initial values")
+	}
+	// A small read of the initial value must not map onto a big read that
+	// observes a mapped write.
+	if Contains(observed, allInitial) {
+		t.Error("initial-value read embedded onto a read observing a mapped write")
+	}
+}
+
+// TestContainsDependencyPreservation: a dependency edge of the small test
+// must exist between the image events of the big test.
+func TestContainsDependencyPreservation(t *testing.T) {
+	withDep := litmus.New("Ld-Ld+addr", [][]litmus.Op{
+		{R(0), R(1)},
+	}, litmus.WithDep(0, 0, 1, litmus.DepAddr))
+	without := litmus.New("Ld-Ld", [][]litmus.Op{
+		{R(0), R(1)},
+	})
+	small := mkExec(withDep, nil, nil)
+	big := mkExec(without, nil, nil)
+	if Contains(big, small) {
+		t.Error("dependency edge dropped by embedding")
+	}
+	if !Contains(mkExec(withDep, nil, nil), small) {
+		t.Error("dependency-for-dependency embedding rejected")
+	}
+	// The other direction is fine: a dep-free small test may embed into a
+	// big test that happens to carry extra dependencies.
+	if !Contains(mkExec(withDep, nil, nil), big) {
+		t.Error("plain test failed to embed into its dependency-annotated superset")
+	}
+}
+
+// TestContainsRMWPreservation: RMW pairing of the small test must be
+// present on the image events.
+func TestContainsRMWPreservation(t *testing.T) {
+	rmw := litmus.New("RMW", [][]litmus.Op{
+		{R(0), W(0)},
+	}, litmus.WithRMW(0, 0))
+	plain := litmus.New("Ld-St", [][]litmus.Op{
+		{R(0), W(0)},
+	})
+	small := mkExec(rmw, nil, nil)
+	if Contains(mkExec(plain, nil, nil), small) {
+		t.Error("RMW pairing dropped by embedding")
+	}
+	if !Contains(mkExec(rmw, nil, nil), small) {
+		t.Error("RMW-for-RMW embedding rejected")
+	}
+}
+
+// TestContainsCoherenceOrder: mapped writes must keep their relative
+// coherence order.
+func TestContainsCoherenceOrder(t *testing.T) {
+	tt := litmus.New("2+2W-core", [][]litmus.Op{
+		{W(0)},
+		{W(0)},
+	})
+	small := mkExec(tt, nil, map[int][]int{0: {0, 1}}) // thread 0's write first
+	same := mkExec(litmus.New("2+2W-core", [][]litmus.Op{
+		{W(0)},
+		{W(0)},
+	}), nil, map[int][]int{0: {0, 1}})
+	if !Contains(same, small) {
+		t.Error("identical coherence order rejected")
+	}
+	// Thread renaming can absorb a co flip here (map small thread 0 onto
+	// big thread 1), so forbid it by making the threads distinguishable.
+	ordered := litmus.New("WR|W", [][]litmus.Op{
+		{W(0), R(1)},
+		{W(0)},
+	})
+	smallOrd := mkExec(ordered, map[int]int{1: -1}, map[int][]int{0: {0, 2}})
+	flippedOrd := mkExec(litmus.New("WR|W", [][]litmus.Op{
+		{W(0), R(1)},
+		{W(0)},
+	}), map[int]int{1: -1}, map[int][]int{0: {2, 0}})
+	if Contains(flippedOrd, smallOrd) {
+		t.Error("reversed coherence order accepted")
+	}
+}

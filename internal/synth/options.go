@@ -78,6 +78,19 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// Normalize returns o with defaults applied and the engine-tuning knobs
+// that do not affect results (Workers, Progress, ProgressInterval)
+// cleared. Two Options values describe the same synthesis output iff their
+// normalized forms are equal, which is what content-addressed storage
+// (internal/store) digests.
+func (o Options) Normalize() Options {
+	o = o.withDefaults()
+	o.Workers = 0
+	o.Progress = nil
+	o.ProgressInterval = 0
+	return o
+}
+
 func (o Options) withDefaults() Options {
 	if o.MinEvents == 0 {
 		o.MinEvents = 2

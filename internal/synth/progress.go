@@ -47,10 +47,14 @@ type ProgressEvent struct {
 // progressSink serializes ProgressEvent delivery: phase events come from
 // the coordinating goroutine and ticks from a ticker goroutine, so the
 // user callback is guarded by a mutex to guarantee sequential invocation.
+// The done flag makes PhaseDone terminal: the ticker goroutine races the
+// coordinator's final emit, and a tick that loses that race is dropped
+// rather than delivered after the done event.
 type progressSink struct {
-	mu sync.Mutex
-	fn func(ProgressEvent)
-	e  *engine
+	mu   sync.Mutex
+	fn   func(ProgressEvent)
+	e    *engine
+	done bool
 }
 
 func (p *progressSink) emit(phase string, interrupted bool) {
@@ -59,6 +63,10 @@ func (p *progressSink) emit(phase string, interrupted bool) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = phase == PhaseDone
 	p.fn(ProgressEvent{
 		Model:             p.e.model.Name(),
 		Phase:             phase,

@@ -1,0 +1,23 @@
+package synth
+
+// EngineVersion identifies the observable behavior of the synthesis
+// engine: two runs with the same model, the same normalized Options, and
+// the same EngineVersion produce byte-identical suites. It is part of the
+// content-address of persisted results (internal/store), so it MUST be
+// bumped whenever a change alters engine output — new pruning rules,
+// canonicalization changes, vocabulary extensions, entry ordering — and
+// must NOT be bumped for pure performance or plumbing work (stale cache
+// entries are recomputed, so an unnecessary bump only costs work).
+const EngineVersion = "1"
+
+// NewSuite constructs a Suite from pre-deduplicated entries, preserving
+// their order. It is the rehydration constructor used by internal/store to
+// rebuild persisted results; entries with duplicate keys are dropped
+// (first wins), matching the engine's own add order.
+func NewSuite(model, axiom string, entries []Entry) *Suite {
+	s := newSuite(model, axiom)
+	for _, e := range entries {
+		s.add(e)
+	}
+	return s
+}

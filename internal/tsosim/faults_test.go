@@ -135,8 +135,13 @@ func TestReadReorderExposesMP(t *testing.T) {
 	}
 }
 
-// TestQuickFaultsOnlyWeaken: every fault's outcome set is a superset of the
-// correct machine's — seeded bugs add behaviors, never remove them.
+// TestQuickFaultsOnlyWeaken: a reordering fault's outcome set is a
+// superset of the correct machine's — those seeded bugs add behaviors,
+// never remove them. FaultNoForwarding is excluded: it is a
+// behavior-changing bug, not a pure weakening — a load can read its own
+// still-buffered (globally invisible) store only via forwarding, so
+// suppressing forwarding removes exactly those outcomes (the draining
+// alternative makes the store visible to every other thread).
 func TestQuickFaultsOnlyWeaken(t *testing.T) {
 	f := func(seed int64) bool {
 		lt := randomTSOTest(rand.New(rand.NewSource(seed)))
@@ -145,6 +150,9 @@ func TestQuickFaultsOnlyWeaken(t *testing.T) {
 			return false
 		}
 		for _, fault := range AllFaults() {
+			if fault == FaultNoForwarding {
+				continue
+			}
 			faulty, err := RunFaulty(lt, fault)
 			if err != nil {
 				return false

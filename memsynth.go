@@ -385,6 +385,25 @@ func ParseTest(r io.Reader) (*Spec, error) { return litmus.Parse(r) }
 // FormatTest renders t in the textual format accepted by ParseTest.
 func FormatTest(t *Test) string { return litmus.Format(t) }
 
+// FormatSpec renders a spec — the test plus its forbid: line when present —
+// in the textual format accepted by ParseTest.
+func FormatSpec(s *Spec) string { return litmus.FormatSpec(s) }
+
+// FormatSuite renders specs as one suite file: blank-line-separated blocks
+// in the format accepted by ParseSuite. Printing and reparsing a suite is
+// lossless, and reformatting a parsed suite reproduces it byte for byte.
+func FormatSuite(specs []*Spec) string { return litmus.FormatSuite(specs) }
+
+// ParseSuite reads a whole suite file: litmus tests separated by blank
+// lines, each optionally followed by a forbid: outcome line.
+func ParseSuite(r io.Reader) ([]*Spec, error) { return litmus.ParseSuite(r) }
+
+// EngineVersion identifies the synthesis engine revision for cache keying:
+// the content-addressed suite store (internal/store, the memsynthd daemon,
+// and the CLIs' -store flag) includes it in every suite digest, so
+// output-affecting engine changes invalidate stored suites automatically.
+const EngineVersion = synth.EngineVersion
+
 // RenderTarget selects an output dialect for RenderTest.
 type RenderTarget = render.Target
 
