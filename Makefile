@@ -23,11 +23,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Short coverage-guided fuzz of the litmus text parser (CI runs the same
-# smoke); lengthen with FUZZTIME=5m for a real session.
+# Short coverage-guided fuzz of the litmus text parser and the cat model
+# compiler (CI runs the same smoke); lengthen with FUZZTIME=5m for a real
+# session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzParseLitmus -fuzztime=$(FUZZTIME) ./internal/litmus
+	$(GO) test -fuzz=FuzzParseCat -fuzztime=$(FUZZTIME) ./internal/cat
 
 # Run the synthesis daemon locally (Ctrl-C drains in-flight jobs).
 serve:

@@ -32,11 +32,15 @@ import (
 )
 
 var (
-	workers  = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
-	progress = flag.Bool("progress", false, "stream live synthesis progress to stderr")
-	timeout  = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
-	storeDir = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
+	workers   = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
+	progress  = flag.Bool("progress", false, "stream live synthesis progress to stderr")
+	timeout   = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
+	storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
+	modelFile = flag.String("model-file", "", "compile and register a cat-style model definition; run it with -exp custom")
 )
+
+// customModel is the name of the -model-file model, once registered.
+var customModel string
 
 // runCtx is the experiment-wide context (Ctrl-C cancels the runs).
 var runCtx = context.Background()
@@ -89,7 +93,7 @@ func synthesize(m memsynth.Model, opts memsynth.Options) *memsynth.Result {
 	}
 	st := openStore()
 	if st != nil {
-		switch ss, err := st.Get(store.Digest(m.Name(), opts)); {
+		switch ss, err := st.Get(store.DigestModel(m, opts)); {
 		case err == nil:
 			res, rerr := ss.Result()
 			if rerr != nil {
@@ -130,6 +134,24 @@ func main() {
 	defer cancel()
 	runCtx = ctx
 
+	if *modelFile != "" {
+		src, err := os.ReadFile(*modelFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m, err := memsynth.CompileModel(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *modelFile, err)
+			os.Exit(1)
+		}
+		if err := memsynth.RegisterModel(m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		customModel = m.Name()
+	}
+
 	experiments := map[string]func(int){
 		"table2": table2,
 		"table4": table4,
@@ -142,10 +164,17 @@ func main() {
 		"diy":    diyCompare,
 		"random": randomCompare,
 		"faults": faultMatrix,
+		"custom": func(b int) {
+			if customModel == "" {
+				fmt.Fprintln(os.Stderr, "-exp custom needs -model-file")
+				os.Exit(1)
+			}
+			figCounts(customModel, b)
+		},
 	}
 	switch *exp {
 	case "list":
-		fmt.Println("experiments: table2 table4 fig13 fig16 fig20 c11 hsa armv8 diy random faults all")
+		fmt.Println("experiments: table2 table4 fig13 fig16 fig20 c11 hsa armv8 diy random faults custom all")
 	case "all":
 		for _, name := range []string{"table2", "table4", "fig13", "fig16", "fig20", "c11", "hsa", "armv8", "diy", "random", "faults"} {
 			fmt.Printf("\n===== %s =====\n", name)

@@ -10,6 +10,7 @@
 //	memsynth -model tso -bound 6 -workers 8 -progress
 //	memsynth -model power -bound 5 -timeout 30s   # partial suite on deadline
 //	memsynth -model tso -bound 4 -store ./suites  # reuse the memsynthd cache
+//	memsynth -model-file my.cat -bound 4    # user-defined cat model (DESIGN.md §9)
 //
 // Synthesis honors -timeout and Ctrl-C: an interrupted run prints the
 // partial suite found so far (marked as partial in the stats line).
@@ -38,6 +39,7 @@ import (
 func main() {
 	var (
 		modelName = flag.String("model", "tso", "memory model (sc, tso, power, armv7, armv8, scc, c11, hsa)")
+		modelFile = flag.String("model-file", "", "compile and use a cat-style model definition file instead of -model")
 		bound     = flag.Int("bound", 4, "maximum instruction count")
 		axiom     = flag.String("axiom", "union", "axiom suite to print, or 'union'")
 		format    = flag.String("format", "pretty", "output format: pretty, litmus, asm, or dot")
@@ -52,10 +54,25 @@ func main() {
 	)
 	flag.Parse()
 
-	model, err := memsynth.ModelByName(*modelName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var model memsynth.Model
+	var err error
+	if *modelFile != "" {
+		src, rerr := os.ReadFile(*modelFile)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		model, err = memsynth.CompileModel(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *modelFile, err)
+			os.Exit(1)
+		}
+	} else {
+		model, err = memsynth.ModelByName(*modelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -87,7 +104,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		digest := store.Digest(model.Name(), opts)
+		digest := store.DigestModel(model, opts)
 		switch ss, err := st.Get(digest); {
 		case err == nil:
 			res, err = ss.Result()

@@ -17,8 +17,12 @@
 //	GET    /v1/suites/{digest}         manifest (or ?format=litmus&axiom=...)
 //	DELETE /v1/suites/{digest}         evict
 //	GET    /v1/suites/{digest}/detect  x86-TSO fault-detection matrix
-//	GET    /v1/models                  built-in models
+//	GET    /v1/models                  visible models (built-in + registered)
+//	POST   /v1/models                  register a cat model definition
 //	GET    /healthz, /metrics          probes
+//
+// -models preloads every *.cat definition in a directory at startup, as if
+// each had been POSTed to /v1/models.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, waits for
 // in-flight requests and async jobs to drain (bounded by -drain-timeout),
@@ -34,9 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"memsynth/internal/cat"
+	"memsynth/internal/memmodel"
 	"memsynth/internal/server"
 	"memsynth/internal/store"
 )
@@ -48,6 +55,7 @@ func main() {
 		maxJobs      = flag.Int("max-jobs", server.DefaultMaxJobs, "maximum concurrent synthesis engine runs")
 		cacheEntries = flag.Int("cache-entries", store.DefaultCacheEntries, "in-memory suite cache capacity")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		modelsDir    = flag.String("models", "", "directory of *.cat model definitions to register at startup")
 	)
 	flag.Parse()
 
@@ -56,7 +64,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs})
+	registry := memmodel.NewRegistry()
+	if *modelsDir != "" {
+		defs, err := filepath.Glob(filepath.Join(*modelsDir, "*.cat"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, path := range defs {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			m, err := cat.Compile(string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := registry.Register(m); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+			log.Printf("memsynthd: registered model %q from %s (digest %.12s)", m.Name(), path, m.SourceDigest())
+		}
+	}
+	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs, Models: registry})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

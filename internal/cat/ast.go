@@ -1,0 +1,160 @@
+package cat
+
+// File is the parsed form of one model definition.
+type File struct {
+	// Name is the model name from the `model` statement.
+	Name    string
+	NamePos Pos
+	// Stmts holds lets and axioms in source order (resolution is
+	// strictly top-down: a let may reference only earlier bindings).
+	Lets   []*Let
+	Axioms []*AxiomDecl
+	// Declaration block (vocabulary and relaxations).
+	Ops     []OpSpec
+	RMWs    [][2]OpSpec
+	Deps    []Ref
+	Scopes  []Ref
+	UsesSC  bool
+	Relax   []Ref
+	Demotes []Demote
+}
+
+// Let is one `let name = expr` binding.
+type Let struct {
+	Name string
+	Pos  Pos
+	Body Expr
+}
+
+// AxiomKind selects the constraint form of an axiom declaration.
+type AxiomKind uint8
+
+const (
+	// AxAcyclic requires the relation to be cycle-free.
+	AxAcyclic AxiomKind = iota
+	// AxIrreflexive requires the relation to contain no (x,x) pair.
+	AxIrreflexive
+	// AxEmpty requires the relation to be empty.
+	AxEmpty
+)
+
+func (k AxiomKind) String() string {
+	switch k {
+	case AxAcyclic:
+		return "acyclic"
+	case AxIrreflexive:
+		return "irreflexive"
+	}
+	return "empty"
+}
+
+// AxiomDecl is one `acyclic|irreflexive|empty expr as name` declaration.
+type AxiomDecl struct {
+	Kind AxiomKind
+	Pos  Pos
+	Body Expr
+	Name string
+}
+
+// Ref is an identifier occurrence outside an expression (dep types, scope
+// names, relaxation tags).
+type Ref struct {
+	Name string
+	Pos  Pos
+}
+
+// OpSpec is one vocabulary item: `R`, `W.rel`, `F.mfence`, optionally
+// `@wg` / `@sys` scoped. The resolver maps it onto a litmus.Op.
+type OpSpec struct {
+	// Raw is the dotted identifier as written (base and optional
+	// order/fence suffix).
+	Raw string
+	Pos Pos
+	// Scope is the optional `@scope` suffix ("" when absent).
+	Scope    string
+	ScopePos Pos
+}
+
+// Demote is one `demote from -> to...` declaration: a one-step demotion
+// ladder entry for DMO (orders), DF (fences), or DS (scopes). Scope
+// demotions are written `demote @sys -> @wg` and carry specs with an
+// empty Raw.
+type Demote struct {
+	Pos  Pos
+	From OpSpec
+	To   []OpSpec
+}
+
+// BinOp is a binary expression operator.
+type BinOp uint8
+
+const (
+	// OpUnion is '|'.
+	OpUnion BinOp = iota
+	// OpInter is '&'.
+	OpInter
+	// OpDiff is '\'.
+	OpDiff
+	// OpSeq is ';' (relational join).
+	OpSeq
+	// OpProd is '*' between two sets (cartesian product).
+	OpProd
+)
+
+func (o BinOp) String() string {
+	return [...]string{"|", "&", `\`, ";", "*"}[o]
+}
+
+// UnOp is a postfix expression operator.
+type UnOp uint8
+
+const (
+	// OpClosure is '+' (transitive closure).
+	OpClosure UnOp = iota
+	// OpRefClosure is postfix '*' (reflexive-transitive closure).
+	OpRefClosure
+	// OpOpt is '?' (zero-or-one step).
+	OpOpt
+	// OpInverse is '^-1' (transpose).
+	OpInverse
+)
+
+func (o UnOp) String() string {
+	return [...]string{"+", "*", "?", "^-1"}[o]
+}
+
+// Expr is a node of an expression tree.
+type Expr interface {
+	pos() Pos
+}
+
+// IdentExpr is a name reference (builtin or let binding).
+type IdentExpr struct {
+	Name string
+	Pos_ Pos
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos_ Pos
+}
+
+// UnExpr is a postfix operation.
+type UnExpr struct {
+	Op   UnOp
+	X    Expr
+	Pos_ Pos
+}
+
+// LiftExpr is `[S]`: the partial identity relation on set S.
+type LiftExpr struct {
+	X    Expr
+	Pos_ Pos
+}
+
+func (e *IdentExpr) pos() Pos { return e.Pos_ }
+func (e *BinExpr) pos() Pos   { return e.Pos_ }
+func (e *UnExpr) pos() Pos    { return e.Pos_ }
+func (e *LiftExpr) pos() Pos  { return e.Pos_ }

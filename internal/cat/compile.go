@@ -1,0 +1,168 @@
+package cat
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+
+	"memsynth/internal/exec"
+	"memsynth/internal/memmodel"
+)
+
+// digestPrefix versions the digest scheme. Bump it if normalization or the
+// compiled semantics change incompatibly: suites cached under old digests
+// must not be served for newly compiled models.
+const digestPrefix = "memsynth-cat-v1\n"
+
+// Model is a memory model compiled from a cat definition. It implements
+// memmodel.Model and memmodel.Sourced: the synthesis pipeline treats it
+// exactly like a built-in, while the store keys cached suites by the
+// definition's normalized source digest so same-named but different
+// definitions never collide.
+type Model struct {
+	prog       *program
+	normalized string
+	digest     string
+}
+
+// Compile parses, resolves, and compiles a cat definition.
+func Compile(src string) (*Model, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := resolve(f)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize(src)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256([]byte(digestPrefix + prog.name + "\n" + norm))
+	return &Model{
+		prog:       prog,
+		normalized: norm,
+		digest:     hex.EncodeToString(sum[:]),
+	}, nil
+}
+
+// Name returns the model name from the `model` statement.
+func (m *Model) Name() string { return m.prog.name }
+
+// Source identifies the model as cat-compiled (memmodel.Sourced).
+func (m *Model) Source() string { return "cat" }
+
+// SourceDigest returns the SHA-256 over the normalized definition
+// (memmodel.Sourced). Two definitions are interchangeable for caching
+// purposes iff their digests match: whitespace and comments don't count,
+// any token change does.
+func (m *Model) SourceDigest() string { return m.digest }
+
+// Normalized returns the canonical one-statement-per-line form of the
+// definition that the digest is computed over.
+func (m *Model) Normalized() string { return m.normalized }
+
+// Vocab returns the synthesis vocabulary from the declaration block.
+func (m *Model) Vocab() memmodel.Vocab { return m.prog.vocab }
+
+// Relax returns the relaxation applicability from the declaration block.
+func (m *Model) Relax() memmodel.RelaxSpec { return m.prog.relax }
+
+// Axioms returns the compiled axioms in declaration order. Each axiom
+// evaluates its relational expression against the view; let bindings are
+// computed lazily and shared across all of one view's axioms through
+// View.Memo, keyed by the definition digest.
+func (m *Model) Axioms() []memmodel.Axiom {
+	axioms := make([]memmodel.Axiom, len(m.prog.axioms))
+	memoKey := "cat:" + m.digest
+	for i, ax := range m.prog.axioms {
+		ax := ax
+		axioms[i] = memmodel.Axiom{
+			Name: ax.name,
+			Holds: func(v *exec.View) bool {
+				ev := v.Memo(memoKey, func() any { return newEnv(m.prog, v) }).(*env)
+				rel := ax.body.rel(ev)
+				switch ax.kind {
+				case AxAcyclic:
+					return rel.Acyclic()
+				case AxIrreflexive:
+					return rel.Irreflexive()
+				default:
+					return rel.IsEmpty()
+				}
+			},
+		}
+	}
+	return axioms
+}
+
+// normalize re-renders the token stream one statement per line with single
+// spaces between tokens, stripping comments and insignificant whitespace.
+// Digesting this instead of the raw source makes formatting-only edits
+// cache-neutral.
+func normalize(src string) (string, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	lineStart := true
+	for _, t := range toks {
+		switch t.kind {
+		case tokEOF:
+			return b.String(), nil
+		case tokNewline:
+			if !lineStart {
+				b.WriteByte('\n')
+				lineStart = true
+			}
+		default:
+			if !lineStart {
+				b.WriteByte(' ')
+			}
+			b.WriteString(tokenText(t))
+			lineStart = false
+		}
+	}
+	return b.String(), nil
+}
+
+// tokenText renders one token for normalization.
+func tokenText(t token) string {
+	switch t.kind {
+	case tokIdent:
+		return t.text
+	case tokPipe:
+		return "|"
+	case tokAmp:
+		return "&"
+	case tokDiff:
+		return `\`
+	case tokSemi:
+		return ";"
+	case tokStar:
+		return "*"
+	case tokPlus:
+		return "+"
+	case tokOpt:
+		return "?"
+	case tokInv:
+		return "^-1"
+	case tokLBrack:
+		return "["
+	case tokRBrack:
+		return "]"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokEq:
+		return "="
+	case tokAt:
+		return "@"
+	case tokArrow:
+		return "->"
+	}
+	return ""
+}

@@ -1,0 +1,78 @@
+package cat_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memsynth/internal/cat"
+)
+
+// FuzzParseCat drives the whole compile pipeline (lex, parse, resolve)
+// with arbitrary inputs and checks the contracts the server depends on
+// when accepting untrusted definitions over POST /v1/models:
+//
+//   - Compile never panics — malformed input returns a *cat.Error with a
+//     1-based line:column position;
+//   - anything Compile accepts normalizes to text Compile accepts again,
+//     with an identical digest (normalization is a fixed point — the
+//     digest really is formatting-independent).
+//
+// Seeds cover the full grammar via the shipped sc.cat/tso.cat
+// transcriptions plus statements exercising every operator, declaration,
+// and a sample of near-miss malformed inputs.
+func FuzzParseCat(f *testing.F) {
+	seeds := []string{
+		"model m\nacyclic po | rf | co | fr as total\nops R W\n",
+		"model m\nlet com = rf | co | fr\nirreflexive (com ; po)+ as hb\nempty [R] ; rmw & ext as atom\nops R.acq W.rel F.sc\nrmw R W\ndeps addr data ctrl\nrelax RD DRMW\n",
+		"model m\nacyclic (W * R) ; po-loc? ; rf^-1 ; dep* as x\nops R@wg W@sys\nscopes wg sys\nsc-order\nrelax DS\ndemote @sys -> @wg\n",
+		"model m\nlet strong = po ; [F.mfence | F.sync] ; po\nacyclic strong | scord | scope-compat & int as x\nops W F.mfence\nrelax DMO DF\ndemote M.sc -> M.acqrel\ndemote F.sc -> F.acqrel F.acq\n",
+		"(* block\ncomment *) model m // line comment\nacyclic id | loc \\ ext as x\nops R\n",
+		"",
+		"model",
+		"model m\n",
+		"model m\nacyclic po as\n",
+		"model m\nlet x = (po | rf\n",
+		"model m\nacyclic po ^ rf as x\nops R\n",
+		"model m\nacyclic po as union\nops R\n",
+		"model m\nrelax DMO\nacyclic po as x\nops R\n",
+		"model m\nacyclic R.weird as x\nops R\n",
+		"model 0\nacyclic po as x\nops R\n",
+		"garbage statement soup",
+	}
+	for _, name := range []string{"sc.cat", "tso.cat"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "examples", "cat", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, string(src))
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := cat.Compile(input)
+		if err != nil {
+			var ce *cat.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *cat.Error: %v", err, err)
+			}
+			if ce.Pos.Line < 1 || ce.Pos.Col < 1 {
+				t.Fatalf("error position %v is not 1-based: %v", ce.Pos, err)
+			}
+			return
+		}
+		m2, err := cat.Compile(m.Normalized())
+		if err != nil {
+			t.Fatalf("normalized form does not compile: %v\ninput:\n%s\nnormalized:\n%s", err, input, m.Normalized())
+		}
+		if m2.SourceDigest() != m.SourceDigest() {
+			t.Fatalf("normalization is not digest-stable:\nfirst:  %s\nsecond: %s\ninput:\n%s", m.SourceDigest(), m2.SourceDigest(), input)
+		}
+		if m2.Normalized() != m.Normalized() {
+			t.Fatalf("normalization is not a fixed point:\nfirst:\n%s\nsecond:\n%s", m.Normalized(), m2.Normalized())
+		}
+	})
+}

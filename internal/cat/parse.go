@@ -1,0 +1,360 @@
+package cat
+
+// parser is a recursive-descent parser over the token stream. One
+// statement per line; expressions may wrap inside parentheses/brackets
+// (the lexer suppresses those newlines).
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a model definition into its AST. It never panics on
+// malformed input; errors carry line:column positions.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF) {
+		if p.at(tokNewline) {
+			p.advance()
+			continue
+		}
+		if err := p.statement(f); err != nil {
+			return nil, err
+		}
+	}
+	if f.Name == "" {
+		return nil, errf(p.cur().pos, "missing `model <name>` statement")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) at(k tokKind) bool {
+	return p.toks[p.i].kind == k
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, ctx string) (token, error) {
+	if !p.at(k) {
+		return token{}, errf(p.cur().pos, "expected %v %s, found %v", k, ctx, p.describe())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) describe() string {
+	t := p.cur()
+	if t.kind == tokIdent {
+		return "'" + t.text + "'"
+	}
+	return t.kind.String()
+}
+
+func (p *parser) endStatement() error {
+	if p.at(tokEOF) {
+		return nil
+	}
+	_, err := p.expect(tokNewline, "at end of statement")
+	return err
+}
+
+// statement dispatches on the leading keyword. Keywords are contextual:
+// they are only special in statement-leading position, so `let fence = ...`
+// remains a valid binding.
+func (p *parser) statement(f *File) error {
+	lead, err := p.expect(tokIdent, "at start of statement")
+	if err != nil {
+		return err
+	}
+	switch lead.text {
+	case "model":
+		name, err := p.expect(tokIdent, "after 'model'")
+		if err != nil {
+			return err
+		}
+		if f.Name != "" {
+			return errf(lead.pos, "duplicate model statement (already named %q)", f.Name)
+		}
+		f.Name, f.NamePos = name.text, name.pos
+		return p.endStatement()
+	case "let":
+		name, err := p.expect(tokIdent, "after 'let'")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEq, "after let name"); err != nil {
+			return err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return err
+		}
+		f.Lets = append(f.Lets, &Let{Name: name.text, Pos: name.pos, Body: body})
+		return p.endStatement()
+	case "acyclic", "irreflexive", "empty":
+		kind := map[string]AxiomKind{
+			"acyclic": AxAcyclic, "irreflexive": AxIrreflexive, "empty": AxEmpty,
+		}[lead.text]
+		body, err := p.expr()
+		if err != nil {
+			return err
+		}
+		as, err := p.expect(tokIdent, "after axiom body")
+		if err != nil {
+			return err
+		}
+		if as.text != "as" {
+			return errf(as.pos, "expected 'as <name>' after %s body, found %q", lead.text, as.text)
+		}
+		name, err := p.expect(tokIdent, "after 'as'")
+		if err != nil {
+			return err
+		}
+		f.Axioms = append(f.Axioms, &AxiomDecl{Kind: kind, Pos: lead.pos, Body: body, Name: name.text})
+		return p.endStatement()
+	case "ops":
+		for !p.at(tokNewline) && !p.at(tokEOF) {
+			spec, err := p.opSpec()
+			if err != nil {
+				return err
+			}
+			f.Ops = append(f.Ops, spec)
+		}
+		if len(f.Ops) == 0 {
+			return errf(lead.pos, "ops declaration lists no instructions")
+		}
+		return p.endStatement()
+	case "rmw":
+		r, err := p.opSpec()
+		if err != nil {
+			return err
+		}
+		w, err := p.opSpec()
+		if err != nil {
+			return err
+		}
+		f.RMWs = append(f.RMWs, [2]OpSpec{r, w})
+		return p.endStatement()
+	case "deps":
+		refs, err := p.refList(lead, "dependency type")
+		if err != nil {
+			return err
+		}
+		f.Deps = append(f.Deps, refs...)
+		return p.endStatement()
+	case "scopes":
+		refs, err := p.refList(lead, "scope")
+		if err != nil {
+			return err
+		}
+		f.Scopes = append(f.Scopes, refs...)
+		return p.endStatement()
+	case "sc-order":
+		f.UsesSC = true
+		return p.endStatement()
+	case "relax":
+		refs, err := p.refList(lead, "relaxation tag")
+		if err != nil {
+			return err
+		}
+		f.Relax = append(f.Relax, refs...)
+		return p.endStatement()
+	case "demote":
+		from, err := p.demoteSpec()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokArrow, "after demote source"); err != nil {
+			return err
+		}
+		d := Demote{Pos: lead.pos, From: from}
+		for {
+			to, err := p.demoteSpec()
+			if err != nil {
+				return err
+			}
+			d.To = append(d.To, to)
+			if p.at(tokNewline) || p.at(tokEOF) {
+				break
+			}
+		}
+		f.Demotes = append(f.Demotes, d)
+		return p.endStatement()
+	}
+	return errf(lead.pos, "unknown statement %q (want model, let, acyclic, irreflexive, empty, ops, rmw, deps, scopes, sc-order, relax, or demote)", lead.text)
+}
+
+func (p *parser) refList(lead token, what string) ([]Ref, error) {
+	var refs []Ref
+	for !p.at(tokNewline) && !p.at(tokEOF) {
+		t, err := p.expect(tokIdent, "("+what+")")
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, Ref{Name: t.text, Pos: t.pos})
+	}
+	if len(refs) == 0 {
+		return nil, errf(lead.pos, "%s declaration lists no names", lead.text)
+	}
+	return refs, nil
+}
+
+// opSpec parses a vocabulary item: `R`, `W.rel`, `F.mfence`, optionally
+// followed by `@wg` / `@sys`.
+func (p *parser) opSpec() (OpSpec, error) {
+	t, err := p.expect(tokIdent, "(instruction spec)")
+	if err != nil {
+		return OpSpec{}, err
+	}
+	spec := OpSpec{Raw: t.text, Pos: t.pos}
+	if p.at(tokAt) {
+		at := p.advance()
+		s, err := p.expect(tokIdent, "after '@'")
+		if err != nil {
+			return OpSpec{}, err
+		}
+		spec.Scope, spec.ScopePos = s.text, at.pos
+	}
+	return spec, nil
+}
+
+// demoteSpec parses one endpoint of a demote declaration: an opSpec, or a
+// bare `@scope` (Raw left empty).
+func (p *parser) demoteSpec() (OpSpec, error) {
+	if p.at(tokAt) {
+		at := p.advance()
+		s, err := p.expect(tokIdent, "after '@'")
+		if err != nil {
+			return OpSpec{}, err
+		}
+		return OpSpec{Pos: at.pos, Scope: s.text, ScopePos: s.pos}, nil
+	}
+	return p.opSpec()
+}
+
+// Expression grammar, loosest to tightest (all binary operators are
+// left-associative):
+//
+//	expr    = diff { "|" diff }
+//	diff    = inter { "\" inter }
+//	inter   = seq { "&" seq }
+//	seq     = prod { ";" prod }
+//	prod    = postfix { "*" postfix }      (set product; see note)
+//	postfix = primary { "+" | "*" | "?" | "^-1" }
+//	primary = ident | "[" expr "]" | "(" expr ")"
+//
+// A '*' followed by a token that can start a primary parses as the infix
+// set product; otherwise it is the postfix reflexive-transitive closure.
+func (p *parser) expr() (Expr, error) {
+	return p.binary(0)
+}
+
+// binLevels orders the infix operators loosest-first.
+var binLevels = []struct {
+	tok tokKind
+	op  BinOp
+}{
+	{tokPipe, OpUnion},
+	{tokDiff, OpDiff},
+	{tokAmp, OpInter},
+	{tokSemi, OpSeq},
+	{tokStar, OpProd},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level == len(binLevels) {
+		return p.postfix()
+	}
+	lv := binLevels[level]
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lv.tok) {
+		op := p.advance()
+		r, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: lv.op, L: l, R: r, Pos_: op.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokPlus:
+			t := p.advance()
+			x = &UnExpr{Op: OpClosure, X: x, Pos_: t.pos}
+		case tokOpt:
+			t := p.advance()
+			x = &UnExpr{Op: OpOpt, X: x, Pos_: t.pos}
+		case tokInv:
+			t := p.advance()
+			x = &UnExpr{Op: OpInverse, X: x, Pos_: t.pos}
+		case tokStar:
+			// Infix product if a primary follows; postfix closure
+			// otherwise.
+			if p.startsPrimary(p.toks[p.i+1]) {
+				return x, nil
+			}
+			t := p.advance()
+			x = &UnExpr{Op: OpRefClosure, X: x, Pos_: t.pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// startsPrimary reports whether t can begin a primary expression. The
+// contextual keyword `as` is excluded so `po* as name` parses the star as
+// a postfix closure.
+func (p *parser) startsPrimary(t token) bool {
+	if t.kind == tokIdent {
+		return t.text != "as"
+	}
+	return t.kind == tokLBrack || t.kind == tokLParen
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch p.cur().kind {
+	case tokIdent:
+		t := p.advance()
+		return &IdentExpr{Name: t.text, Pos_: t.pos}, nil
+	case tokLBrack:
+		t := p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "to close '['"); err != nil {
+			return nil, err
+		}
+		return &LiftExpr{X: x, Pos_: t.pos}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "to close '('"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(p.cur().pos, "expected an expression, found %v", p.describe())
+}

@@ -1,0 +1,291 @@
+// Package cat implements a herding-cats-style model-definition language:
+// a lexer, recursive-descent parser, resolver/typechecker, and compiler
+// that turn a textual axiomatic memory-model definition into a
+// memmodel.Model whose axioms evaluate directly against exec.View via
+// package relation. The paper's premise is that the synthesis pipeline is
+// model-agnostic; this package makes the model an *input* (a .cat-like
+// file) rather than Go code.
+//
+// A definition consists of `let` bindings over the base relations and
+// event sets of an execution, named axiom declarations
+// (acyclic/irreflexive/empty), and a declaration block describing the
+// synthesis vocabulary and relaxation applicability (paper Table 2). See
+// the grammar in DESIGN.md §9 and the transcribed built-ins under
+// examples/cat/.
+package cat
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a definition error with its source position. The parser and
+// resolver never panic on malformed input; every failure is reported as
+// an *Error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cat: line %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind enumerates token types.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent // identifiers, including dotted forms like F.mfence and po-loc
+	tokPipe  // |
+	tokAmp   // &
+	tokDiff  // \
+	tokSemi  // ;
+	tokStar  // *
+	tokPlus  // +
+	tokOpt   // ?
+	tokInv   // ^-1
+	tokLBrack
+	tokRBrack
+	tokLParen
+	tokRParen
+	tokEq    // =
+	tokAt    // @
+	tokArrow // ->
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokPipe:
+		return "'|'"
+	case tokAmp:
+		return "'&'"
+	case tokDiff:
+		return `'\'`
+	case tokSemi:
+		return "';'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokOpt:
+		return "'?'"
+	case tokInv:
+		return "'^-1'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'='"
+	case tokAt:
+		return "'@'"
+	case tokArrow:
+		return "'->'"
+	}
+	return fmt.Sprintf("tokKind(%d)", uint8(k))
+}
+
+// token is one lexed token.
+type token struct {
+	kind tokKind
+	text string // identifier text (tokIdent only)
+	pos  Pos
+}
+
+// lexer scans a definition into tokens. Newlines terminate statements
+// except inside parentheses or brackets, where expressions may wrap.
+type lexer struct {
+	src   string
+	off   int
+	line  int
+	col   int
+	depth int // ( and [ nesting; newlines inside are insignificant
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// isIdentStart reports whether c can begin an identifier. Digits are
+// allowed so the empty relation `0` lexes as an identifier.
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// isIdentPart reports whether c can continue an identifier. Hyphens and
+// dots are identifier characters (`po-loc`, `F.mfence`); the lexer stops
+// a hyphen that begins an `->` arrow.
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '-' || c == '.'
+}
+
+// next returns the next token, or an error on an illegal character or an
+// unterminated block comment.
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, pos: Pos{l.line, l.col}}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+			continue
+		case c == '\n':
+			pos := Pos{l.line, l.col}
+			l.advance()
+			if l.depth > 0 {
+				continue // inside ( ) or [ ]: expressions may wrap
+			}
+			return token{kind: tokNewline, pos: pos}, nil
+		case c == '/' && l.peekAt(1) == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+			continue
+		case c == '(' && l.peekAt(1) == '*':
+			pos := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			if err := l.skipBlockComment(pos); err != nil {
+				return token{}, err
+			}
+			continue
+		}
+
+		pos := Pos{l.line, l.col}
+		switch {
+		case isIdentStart(c):
+			start := l.off
+			for {
+				c, ok := l.peekByte()
+				if !ok || !isIdentPart(c) {
+					break
+				}
+				if c == '-' && l.peekAt(1) == '>' {
+					break // the arrow of a demote declaration
+				}
+				l.advance()
+			}
+			return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+		case c == '-' && l.peekAt(1) == '>':
+			l.advance()
+			l.advance()
+			return token{kind: tokArrow, pos: pos}, nil
+		case c == '^':
+			l.advance()
+			if l.peekAt(0) != '-' || l.peekAt(1) != '1' {
+				return token{}, errf(pos, "expected '^-1' after '^'")
+			}
+			l.advance()
+			l.advance()
+			return token{kind: tokInv, pos: pos}, nil
+		}
+
+		single := map[byte]tokKind{
+			'|': tokPipe, '&': tokAmp, '\\': tokDiff, ';': tokSemi,
+			'*': tokStar, '+': tokPlus, '?': tokOpt,
+			'[': tokLBrack, ']': tokRBrack, '(': tokLParen, ')': tokRParen,
+			'=': tokEq, '@': tokAt,
+		}
+		kind, ok := single[c]
+		if !ok {
+			return token{}, errf(pos, "illegal character %q", c)
+		}
+		l.advance()
+		switch kind {
+		case tokLParen, tokLBrack:
+			l.depth++
+		case tokRParen, tokRBrack:
+			if l.depth > 0 {
+				l.depth--
+			}
+		}
+		return token{kind: kind, pos: pos}, nil
+	}
+}
+
+func (l *lexer) peekAt(ahead int) byte {
+	if l.off+ahead >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+ahead]
+}
+
+func (l *lexer) skipBlockComment(open Pos) error {
+	for l.off < len(l.src) {
+		if l.src[l.off] == '*' && l.peekAt(1) == ')' {
+			l.advance()
+			l.advance()
+			return nil
+		}
+		l.advance()
+	}
+	return errf(open, "unterminated block comment")
+}
+
+// lexAll scans the whole source. Consecutive newline tokens are collapsed
+// and a trailing newline is guaranteed before EOF, so the parser sees one
+// statement per line.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokNewline && len(toks) > 0 && toks[len(toks)-1].kind == tokNewline {
+			continue
+		}
+		if t.kind == tokEOF {
+			if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+				toks = append(toks, token{kind: tokNewline, pos: t.pos})
+			}
+			toks = append(toks, t)
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -191,14 +191,11 @@ func All() []Model {
 	return ms
 }
 
-// ByName returns the built-in model with the given name.
+// ByName returns the model with the given name: models registered in the
+// Default registry first, then built-ins. An unknown name's error lists
+// every available model.
 func ByName(name string) (Model, error) {
-	for _, m := range All() {
-		if m.Name() == name {
-			return m, nil
-		}
-	}
-	return nil, fmt.Errorf("memmodel: unknown model %q", name)
+	return Default.ByName(name)
 }
 
 // Define constructs a custom memory model from its axioms, vocabulary, and

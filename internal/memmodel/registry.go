@@ -1,0 +1,106 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sourced is implemented by models that were compiled from a textual
+// definition rather than written in Go. The digest feeds the store's
+// content addressing so two different definitions sharing a name never
+// collide in the suite cache.
+type Sourced interface {
+	// Source names the definition language ("cat").
+	Source() string
+	// SourceDigest is a stable hash of the normalized definition.
+	SourceDigest() string
+}
+
+// SourceOf reports where a model came from: ("builtin", "") for native Go
+// models, or the definition language and digest for compiled ones.
+func SourceOf(m Model) (source, digest string) {
+	if s, ok := m.(Sourced); ok {
+		return s.Source(), s.SourceDigest()
+	}
+	return "builtin", ""
+}
+
+// Registry holds user-registered models alongside the built-ins. A
+// registered model shadows a built-in with the same name; registering the
+// same name again replaces the previous definition (last write wins —
+// store digests keep cached suites of distinct definitions apart).
+type Registry struct {
+	mu         sync.RWMutex
+	registered map[string]Model
+}
+
+// NewRegistry returns an empty registry (built-ins are always visible).
+func NewRegistry() *Registry {
+	return &Registry{registered: make(map[string]Model)}
+}
+
+// Register adds or replaces a model by its name.
+func (r *Registry) Register(m Model) error {
+	name := m.Name()
+	if name == "" {
+		return fmt.Errorf("memmodel: cannot register a model with an empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registered[name] = m
+	return nil
+}
+
+// ByName resolves a model name: registered models first, then built-ins.
+// An unknown name's error lists everything available.
+func (r *Registry) ByName(name string) (Model, error) {
+	r.mu.RLock()
+	m, ok := r.registered[name]
+	r.mu.RUnlock()
+	if ok {
+		return m, nil
+	}
+	for _, b := range All() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("memsynth: unknown model %q (available: %s)", name, strings.Join(r.Names(), ", "))
+}
+
+// All returns every visible model sorted by name: built-ins plus
+// registered ones, with registered models shadowing same-named built-ins.
+func (r *Registry) All() []Model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	byName := make(map[string]Model)
+	for _, m := range All() {
+		byName[m.Name()] = m
+	}
+	for name, m := range r.registered {
+		byName[name] = m
+	}
+	ms := make([]Model, 0, len(byName))
+	for _, m := range byName {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name() < ms[j].Name() })
+	return ms
+}
+
+// Names returns the sorted names of every visible model.
+func (r *Registry) Names() []string {
+	ms := r.All()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Default is the process-wide registry used by the package-level ByName
+// and by the CLIs' -model-file flag. The server builds its own registry
+// per instance.
+var Default = NewRegistry()

@@ -1,0 +1,58 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByNameErrorListsAvailable(t *testing.T) {
+	_, err := ByName("nonesuch")
+	if err == nil {
+		t.Fatal("no error for unknown model")
+	}
+	for _, want := range []string{"nonesuch", "available:", "armv7", "armv8", "c11", "hsa", "power", "sc", "scc", "tso"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRegistryShadowAndList(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.ByName("sc"); err != nil {
+		t.Fatalf("builtin through empty registry: %v", err)
+	}
+	if err := r.Register(Define("sc", SC().Axioms(), SC().Vocab(), SC().Relax())); err != nil {
+		t.Fatal(err)
+	}
+	custom := Define("custom", SC().Axioms(), SC().Vocab(), SC().Relax())
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.ByName("custom")
+	if err != nil || m != custom {
+		t.Fatalf("ByName(custom) = %v, %v", m, err)
+	}
+
+	names := r.Names()
+	want := []string{"armv7", "armv8", "c11", "custom", "hsa", "power", "sc", "scc", "tso"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v (shadowed sc must not duplicate)", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+
+	if err := r.Register(Define("", nil, Vocab{}, RelaxSpec{})); err == nil {
+		t.Error("registered a nameless model")
+	}
+}
+
+func TestSourceOfBuiltin(t *testing.T) {
+	src, digest := SourceOf(SC())
+	if src != "builtin" || digest != "" {
+		t.Errorf("SourceOf(SC()) = %q, %q", src, digest)
+	}
+}

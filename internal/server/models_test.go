@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// defA and defB share a name but mean different models; defAReformatted
+// is token-identical to defA (comments and whitespace only).
+const (
+	defA = `model mymodel
+acyclic po | rf | co | fr as total
+ops R W
+`
+	defAReformatted = `(* same tokens as defA *)
+model mymodel
+
+acyclic   po | rf | co | fr   as total // sc-like
+ops R W
+`
+	defB = `model mymodel
+acyclic po-loc | rf | co | fr as total
+ops R W
+`
+)
+
+func postModel(t testing.TB, url, src string) (int, modelInfo) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/models", "text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info modelInfo
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.Unmarshal(data, &info); err != nil {
+			t.Fatalf("bad register response %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode, info
+}
+
+// TestRegisterSynthesizeEvictResynthesize is the satellite acceptance
+// flow: register a model, synthesize it, evict the suite, re-synthesize —
+// the store is hit by definition hash, so the digest is stable across the
+// eviction and across a formatting-only re-registration.
+func TestRegisterSynthesizeEvictResynthesize(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+
+	status, info := postModel(t, ts.URL, defA)
+	if status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	if info.Name != "mymodel" || info.Source != "cat" || len(info.Digest) != 64 {
+		t.Fatalf("register response: %+v", info)
+	}
+	if len(info.Axioms) != 1 || info.Axioms[0] != "total" {
+		t.Fatalf("register axioms: %v", info.Axioms)
+	}
+
+	// /v1/models lists the registration with its provenance, and
+	// built-ins as such.
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []modelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byName := make(map[string]modelInfo)
+	for _, mi := range listed {
+		byName[mi.Name] = mi
+	}
+	if got := byName["mymodel"]; got.Source != "cat" || got.Digest != info.Digest {
+		t.Errorf("listed mymodel: %+v", got)
+	}
+	if got := byName["sc"]; got.Source != "builtin" || got.Digest != "" {
+		t.Errorf("listed sc: %+v", got)
+	}
+
+	body := `{"model":"mymodel","max_events":3}`
+	resp1, data1 := postSynthesize(t, ts.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d: %s", resp1.StatusCode, data1)
+	}
+	digest := resp1.Header.Get("X-Memsynth-Digest")
+	if digest == "" {
+		t.Fatal("no digest header")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/suites/"+digest, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("evict: %d", dresp.StatusCode)
+	}
+
+	// Re-register a formatting-only variant: same normalized definition,
+	// same digest; re-synthesis lands on the same content address.
+	if status, info2 := postModel(t, ts.URL, defAReformatted); status != http.StatusCreated || info2.Digest != info.Digest {
+		t.Fatalf("re-register: status %d digest %q (want %q)", status, info2.Digest, info.Digest)
+	}
+	resp2, data2 := postSynthesize(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-synthesize: %d: %s", resp2.StatusCode, data2)
+	}
+	if got := resp2.Header.Get("X-Memsynth-Digest"); got != digest {
+		t.Errorf("digest after evict+re-register: %q, want %q", got, digest)
+	}
+	if cached := resp2.Header.Get("X-Memsynth-Cached"); cached != "false" {
+		t.Errorf("re-synthesize after evict cached=%s, want false", cached)
+	}
+
+	// Third request is a pure store hit by definition hash.
+	resp3, _ := postSynthesize(t, ts.URL, body)
+	if cached := resp3.Header.Get("X-Memsynth-Cached"); cached != "true" {
+		t.Errorf("third synthesize cached=%s, want true", cached)
+	}
+}
+
+// TestSameNameDistinctDefinitions: two definitions named "mymodel" with
+// different bodies must get distinct model digests AND distinct suite
+// digests — neither shadows the other's cache entries.
+func TestSameNameDistinctDefinitions(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	body := `{"model":"mymodel","max_events":3}`
+
+	_, infoA := postModel(t, ts.URL, defA)
+	respA, _ := postSynthesize(t, ts.URL, body)
+	suiteA := respA.Header.Get("X-Memsynth-Digest")
+
+	_, infoB := postModel(t, ts.URL, defB)
+	if infoA.Digest == infoB.Digest {
+		t.Fatal("different bodies, same model digest")
+	}
+	respB, _ := postSynthesize(t, ts.URL, body)
+	suiteB := respB.Header.Get("X-Memsynth-Digest")
+	if suiteA == suiteB {
+		t.Fatal("different definitions share a suite digest")
+	}
+	if cached := respB.Header.Get("X-Memsynth-Cached"); cached != "false" {
+		t.Errorf("definition B synthesize cached=%s, want false", cached)
+	}
+
+	// Both suites coexist in the store; each manifest records the
+	// definition it was synthesized from.
+	for digest, want := range map[string]string{suiteA: infoA.Digest, suiteB: infoB.Digest} {
+		resp, err := http.Get(ts.URL + "/v1/suites/" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var manifest struct {
+			ModelSource string `json:"model_source"`
+			ModelDigest string `json:"model_digest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&manifest); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if manifest.ModelSource != "cat" || manifest.ModelDigest != want {
+			t.Errorf("suite %s manifest provenance: %s/%s, want cat/%s",
+				digest[:12], manifest.ModelSource, manifest.ModelDigest, want)
+		}
+	}
+
+	// Detect over A's suite now conflicts: the registered "mymodel" is
+	// definition B.
+	resp, err := http.Get(ts.URL + "/v1/suites/" + suiteA + "/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("detect against replaced definition: %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+}
+
+// TestRegisterModelErrors: malformed definitions are rejected with a
+// positioned message, and unknown model names list what is available.
+func TestRegisterModelErrors(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+
+	resp, err := http.Post(ts.URL+"/v1/models", "text/plain",
+		strings.NewReader("model broken\nacyclic po |\nops R\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad definition: status %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "line 2:") {
+		t.Errorf("error not positioned: %s", data)
+	}
+
+	sresp, sdata := postSynthesize(t, ts.URL, `{"model":"nope","max_events":3}`)
+	if sresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown model: status %d", sresp.StatusCode)
+	}
+	for _, want := range []string{"available:", "sc", "tso"} {
+		if !strings.Contains(string(sdata), want) {
+			t.Errorf("unknown-model error %q does not mention %q", sdata, want)
+		}
+	}
+}

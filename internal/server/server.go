@@ -13,7 +13,12 @@
 //	DELETE /v1/suites/{digest}       evict a stored suite
 //	GET    /v1/suites/{digest}/detect  run the x86-TSO fault-detection
 //	                                 matrix over the stored union suite
-//	GET    /v1/models                built-in models and their axioms
+//	GET    /v1/models                visible models (built-in + registered),
+//	                                 each with source ("builtin"/"cat"),
+//	                                 definition digest, axioms, relaxations
+//	POST   /v1/models                register a cat model definition (plain
+//	                                 text body); validates, compiles, and
+//	                                 returns the definition digest
 //	GET    /healthz                  liveness probe
 //	GET    /metrics                  expvar counters (JSON)
 //
@@ -31,10 +36,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"time"
 
+	"memsynth/internal/cat"
 	"memsynth/internal/harness"
 	"memsynth/internal/litmus"
 	"memsynth/internal/memmodel"
@@ -48,6 +55,10 @@ type Config struct {
 	Store *store.Store
 	// MaxJobs bounds concurrent engine runs (default 2).
 	MaxJobs int
+	// Models resolves model names for this server instance. Defaults to a
+	// fresh registry (built-ins visible, no registrations shared with
+	// other instances).
+	Models *memmodel.Registry
 }
 
 // DefaultMaxJobs is the engine-run concurrency bound when Config.MaxJobs
@@ -95,6 +106,7 @@ func newMetrics() *metrics {
 // Handler(), and on shutdown call Drain then Close.
 type Server struct {
 	store   *store.Store
+	models  *memmodel.Registry
 	sem     chan struct{}
 	metrics *metrics
 	mux     *http.ServeMux
@@ -113,8 +125,13 @@ func New(cfg Config) *Server {
 	if maxJobs <= 0 {
 		maxJobs = DefaultMaxJobs
 	}
+	models := cfg.Models
+	if models == nil {
+		models = memmodel.NewRegistry()
+	}
 	s := &Server{
 		store:   cfg.Store,
+		models:  models,
 		sem:     make(chan struct{}, maxJobs),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
@@ -127,6 +144,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
@@ -202,23 +220,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, s.metrics.all.String())
 }
 
+// modelInfo is one row of the /v1/models listing and the response body of
+// a model registration.
+type modelInfo struct {
+	Name string `json:"name"`
+	// Source is "builtin" for native Go models, "cat" for registered
+	// definitions.
+	Source string `json:"source"`
+	// Digest is the hash of the normalized definition ("" for built-ins).
+	Digest      string   `json:"digest,omitempty"`
+	Axioms      []string `json:"axioms"`
+	Relaxations []string `json:"relaxations"`
+}
+
+func describeModel(m memmodel.Model) modelInfo {
+	info := modelInfo{Name: m.Name(), Relaxations: memmodel.RelaxationTags(m)}
+	info.Source, info.Digest = memmodel.SourceOf(m)
+	for _, a := range m.Axioms() {
+		info.Axioms = append(info.Axioms, a.Name)
+	}
+	sort.Strings(info.Axioms)
+	return info
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	type modelInfo struct {
-		Name        string   `json:"name"`
-		Axioms      []string `json:"axioms"`
-		Relaxations []string `json:"relaxations"`
-	}
 	var out []modelInfo
-	for _, m := range memmodel.All() {
-		info := modelInfo{Name: m.Name(), Relaxations: memmodel.RelaxationTags(m)}
-		for _, a := range m.Axioms() {
-			info.Axioms = append(info.Axioms, a.Name)
-		}
-		sort.Strings(info.Axioms)
-		out = append(out, info)
+	for _, m := range s.models.All() {
+		out = append(out, describeModel(m))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleModelRegister compiles a cat definition (plain-text request body)
+// and registers it in this server's model registry. Registering the same
+// name again replaces the definition; cached suites are unaffected because
+// store digests are keyed by the definition hash, not the name.
+func (s *Server) handleModelRegister(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	m, err := cat.Compile(string(src))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if err := s.models.Register(m); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, describeModel(m))
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
@@ -233,7 +285,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	model, err := memmodel.ByName(req.Model)
+	model, err := s.models.ByName(req.Model)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -249,7 +301,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown format %q (want json or litmus)", req.Format)
 		return
 	}
-	digest := store.Digest(model.Name(), opts)
+	digest := store.DigestModel(model, opts)
 
 	if req.Async {
 		job := s.startJob(model, opts, digest)
@@ -393,10 +445,21 @@ func (s *Server) handleSuiteDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	model, err := memmodel.ByName(ss.Manifest.Model)
+	model, err := s.models.ByName(ss.Manifest.Model)
 	if err != nil {
-		writeError(w, http.StatusConflict, "stored model is not built in: %v", err)
+		writeError(w, http.StatusConflict, "stored model is not available: %v", err)
 		return
+	}
+	// A registered model may have been replaced since the suite was
+	// stored; detection against a different definition would be
+	// incoherent, so insist the digests still match.
+	if want := ss.Manifest.ModelDigest; want != "" {
+		if _, have := memmodel.SourceOf(model); have != want {
+			writeError(w, http.StatusConflict,
+				"stored suite was synthesized from definition %s but the registered model %q now has digest %q",
+				want, ss.Manifest.Model, have)
+			return
+		}
 	}
 	tests := make([]*litmus.Test, 0, len(res.Union.Entries))
 	for _, e := range res.Union.Entries {

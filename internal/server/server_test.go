@@ -212,7 +212,7 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := synth.Options{MaxEvents: 3}
-	digest := store.Digest("sc", opts)
+	digest := store.Digest("sc", "", opts)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)

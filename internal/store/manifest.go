@@ -10,6 +10,7 @@ import (
 
 	"memsynth/internal/exec"
 	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
 	"memsynth/internal/synth"
 )
 
@@ -72,7 +73,15 @@ func FromSynthOptions(o synth.Options) RequestOptions {
 // streaming) is excluded, so a CLI run and a daemon run of the same
 // request share one cache entry; synth.EngineVersion is included so a
 // behavior-changing engine upgrade can never serve stale suites.
-func Digest(model string, opts synth.Options) string {
+//
+// modelDigest is the hash of a compiled model's normalized definition
+// ("" for built-ins). It is folded into the address so a user-defined
+// model is keyed by what it *means*, not what it is called: two different
+// definitions named "mymodel" get distinct suites, and re-registering a
+// byte-equivalent definition hits the existing cache entry. Built-in
+// digests are unchanged by this extension (the line is only appended when
+// modelDigest is non-empty), so pre-existing stores stay valid.
+func Digest(model, modelDigest string, opts synth.Options) string {
 	o := opts.Normalize()
 	h := sha256.New()
 	fmt.Fprintf(h,
@@ -80,7 +89,17 @@ func Digest(model string, opts synth.Options) string {
 		formatVersion, synth.EngineVersion, model,
 		o.MinEvents, o.MaxEvents, o.MaxThreads, o.MaxAddrs, o.MaxDeps, o.MaxRMWs,
 		o.CountForbidden, o.KeepTrivialFences, o.KeepIsolatedAddrs)
+	if modelDigest != "" {
+		fmt.Fprintf(h, "model_src=%s\n", modelDigest)
+	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestModel is Digest keyed directly by a model value, deriving the
+// definition digest via memmodel.SourceOf.
+func DigestModel(m memmodel.Model, opts synth.Options) string {
+	_, md := memmodel.SourceOf(m)
+	return Digest(m.Name(), md, opts)
 }
 
 // StatsManifest is the persisted projection of synth.Stats (durations as
@@ -154,6 +173,8 @@ type Manifest struct {
 	Digest        string                   `json:"digest"`
 	EngineVersion string                   `json:"engine_version"`
 	Model         string                   `json:"model"`
+	ModelSource   string                   `json:"model_source,omitempty"`
+	ModelDigest   string                   `json:"model_digest,omitempty"`
 	Options       RequestOptions           `json:"options"`
 	CreatedAt     time.Time                `json:"created_at"`
 	Stats         StatsManifest            `json:"stats"`
@@ -217,9 +238,11 @@ func Encode(res *synth.Result) (*StoredSuite, error) {
 	}
 	m := &Manifest{
 		FormatVersion: formatVersion,
-		Digest:        Digest(res.Model, res.Options),
+		Digest:        Digest(res.Model, res.ModelDigest, res.Options),
 		EngineVersion: synth.EngineVersion,
 		Model:         res.Model,
+		ModelSource:   res.ModelSource,
+		ModelDigest:   res.ModelDigest,
 		Options:       FromSynthOptions(res.Options),
 		CreatedAt:     time.Now().UTC().Truncate(time.Second),
 		Stats:         statsManifest(res.Stats),
@@ -258,10 +281,12 @@ func Encode(res *synth.Result) (*StoredSuite, error) {
 func (ss *StoredSuite) Result() (*synth.Result, error) {
 	m := ss.Manifest
 	res := &synth.Result{
-		Model:    m.Model,
-		Options:  m.Options.SynthOptions().Normalize(),
-		PerAxiom: make(map[string]*synth.Suite),
-		Stats:    m.Stats.synthStats(),
+		Model:       m.Model,
+		Options:     m.Options.SynthOptions().Normalize(),
+		ModelSource: m.ModelSource,
+		ModelDigest: m.ModelDigest,
+		PerAxiom:    make(map[string]*synth.Suite),
+		Stats:       m.Stats.synthStats(),
 	}
 	for name, sm := range m.Suites {
 		text, ok := ss.Texts[name]

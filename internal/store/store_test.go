@@ -24,23 +24,23 @@ func synthesizeSC(tb testing.TB, maxEvents int) *synth.Result {
 
 func TestDigestNormalization(t *testing.T) {
 	base := synth.Options{MaxEvents: 4}
-	d1 := Digest("sc", base)
+	d1 := Digest("sc", "", base)
 	// Engine tuning must not change the address.
-	d2 := Digest("sc", synth.Options{MaxEvents: 4, Workers: 7, ProgressInterval: 123})
+	d2 := Digest("sc", "", synth.Options{MaxEvents: 4, Workers: 7, ProgressInterval: 123})
 	if d1 != d2 {
 		t.Errorf("digest depends on engine tuning: %s vs %s", d1, d2)
 	}
 	// Explicit defaults hash like omitted defaults.
-	d3 := Digest("sc", synth.Options{MaxEvents: 4, MinEvents: 2, MaxThreads: 4, MaxAddrs: 3, MaxDeps: 2, MaxRMWs: 1})
+	d3 := Digest("sc", "", synth.Options{MaxEvents: 4, MinEvents: 2, MaxThreads: 4, MaxAddrs: 3, MaxDeps: 2, MaxRMWs: 1})
 	if d1 != d3 {
 		t.Errorf("digest distinguishes explicit defaults: %s vs %s", d1, d3)
 	}
 	// Semantic knobs must change it.
 	for name, other := range map[string]string{
-		"model":  Digest("tso", base),
-		"bound":  Digest("sc", synth.Options{MaxEvents: 5}),
-		"addrs":  Digest("sc", synth.Options{MaxEvents: 4, MaxAddrs: 2}),
-		"fences": Digest("sc", synth.Options{MaxEvents: 4, KeepTrivialFences: true}),
+		"model":  Digest("tso", "", base),
+		"bound":  Digest("sc", "", synth.Options{MaxEvents: 5}),
+		"addrs":  Digest("sc", "", synth.Options{MaxEvents: 4, MaxAddrs: 2}),
+		"fences": Digest("sc", "", synth.Options{MaxEvents: 4, KeepTrivialFences: true}),
 	} {
 		if other == d1 {
 			t.Errorf("digest ignores %s", name)
@@ -61,7 +61,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	digest := Digest(res.Model, res.Options)
+	digest := Digest(res.Model, res.ModelDigest, res.Options)
 	if put.Manifest.Digest != digest {
 		t.Fatalf("stored digest %s, want %s", put.Manifest.Digest, digest)
 	}
@@ -205,7 +205,7 @@ func TestListAndLRUBound(t *testing.T) {
 		t.Errorf("cache len = %d, want 1 (bounded)", n)
 	}
 	// The evicted-from-cache entry is still served from disk.
-	if _, err := s.Get(Digest("sc", synth.Options{MaxEvents: 3})); err != nil {
+	if _, err := s.Get(Digest("sc", "", synth.Options{MaxEvents: 3})); err != nil {
 		t.Fatal(err)
 	}
 	manifests, err := s.List()

@@ -136,11 +136,19 @@ type Stats struct {
 
 // Result is the outcome of one synthesis run.
 type Result struct {
-	Model    string
-	Options  Options
-	PerAxiom map[string]*Suite
-	Union    *Suite
-	Stats    Stats
+	Model   string
+	Options Options
+	// ModelSource identifies where the model came from: "builtin" for
+	// native Go models, or the definition language (e.g. "cat") for
+	// compiled ones.
+	ModelSource string
+	// ModelDigest is the hash of the compiled model's normalized
+	// definition ("" for built-ins). The store folds it into suite
+	// digests so same-named but different definitions never collide.
+	ModelDigest string
+	PerAxiom    map[string]*Suite
+	Union       *Suite
+	Stats       Stats
 }
 
 // AxiomNames returns the axiom suite names in sorted order.
@@ -229,6 +237,7 @@ func newEngine(m memmodel.Model, opts Options) *engine {
 			Union:    newSuite(m.Name(), "union"),
 		},
 	}
+	e.res.ModelSource, e.res.ModelDigest = memmodel.SourceOf(m)
 	for _, a := range e.axioms {
 		e.res.PerAxiom[a.Name] = newSuite(m.Name(), a.Name)
 	}

@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"memsynth/internal/canon"
+	"memsynth/internal/cat"
 	"memsynth/internal/diy"
 	"memsynth/internal/exec"
 	"memsynth/internal/harness"
@@ -176,17 +177,29 @@ func NewTest(name string, threads [][]Op, opts ...Option) *Test {
 	return litmus.New(name, threads, opts...)
 }
 
-// Models returns every built-in memory model.
-func Models() []Model { return memmodel.All() }
+// Models returns every visible memory model: built-ins plus any
+// registered via RegisterModel, sorted by name.
+func Models() []Model { return memmodel.Default.All() }
 
-// ModelByName returns the built-in model with the given name
-// (sc, tso, power, armv7, scc, c11, hsa).
+// ModelByName returns the model with the given name: models registered
+// via RegisterModel first, then built-ins (sc, tso, power, armv7, armv8,
+// scc, c11, hsa). An unknown name's error lists everything available.
 func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
 
 // DefineModel constructs a custom axiomatic memory model.
 func DefineModel(name string, axioms []Axiom, vocab Vocab, relax RelaxSpec) Model {
 	return memmodel.Define(name, axioms, vocab, relax)
 }
+
+// CompileModel compiles a cat-style textual model definition (see
+// DESIGN.md §9 and examples/cat/) into a Model. The result also carries
+// the definition's normalized source digest, which the suite store folds
+// into content addresses.
+func CompileModel(src string) (Model, error) { return cat.Compile(src) }
+
+// RegisterModel makes a model resolvable by name through ModelByName and
+// Models. Registering a name again replaces the previous definition.
+func RegisterModel(m Model) error { return memmodel.Default.Register(m) }
 
 // Progress event phases (see ProgressEvent.Phase).
 const (
