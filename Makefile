@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench fuzz serve
+.PHONY: check build test vet race bench bench-paper fuzz serve
 
 check: vet build race
 
@@ -20,7 +20,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark snapshot: full synthesis + isolated explore-phase measurements
+# per model, written as machine-readable JSON (committed as BENCH_synth.json
+# so the perf trajectory is comparable across PRs). BENCH_SHORT=1 shrinks
+# the bounds for quick log-only CI runs; BENCH_OUT redirects the output.
+BENCH_OUT ?= BENCH_synth.json
 bench:
+	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
+		$(GO) test -count=1 -run '^TestBenchSnapshot$$' -v ./internal/synth
+
+# The original package-level micro-benchmarks (paper-facing API).
+bench-paper:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Short coverage-guided fuzz of the litmus text parser and the cat model

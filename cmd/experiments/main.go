@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"memsynth"
+	"memsynth/internal/profiling"
 	"memsynth/internal/store"
 )
 
@@ -128,7 +129,13 @@ func main() {
 		exp   = flag.String("exp", "list", "experiment to run")
 		bound = flag.Int("bound", 4, "maximum synthesis bound")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()

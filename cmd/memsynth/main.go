@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"memsynth"
+	"memsynth/internal/profiling"
 	"memsynth/internal/store"
 )
 
@@ -52,7 +53,13 @@ func main() {
 		outDir    = flag.String("out", "", "write one .litmus file per test into this directory instead of stdout")
 		storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd): serve cache hits, populate on miss")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	var model memsynth.Model
 	var err error

@@ -22,7 +22,8 @@
 //	GET    /healthz, /metrics          probes
 //
 // -models preloads every *.cat definition in a directory at startup, as if
-// each had been POSTed to /v1/models.
+// each had been POSTed to /v1/models. -pprof serves net/http/pprof on a
+// separate private address (off by default).
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, waits for
 // in-flight requests and async jobs to drain (bounded by -drain-timeout),
@@ -36,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // pprof handlers, served only behind -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,8 +58,22 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", store.DefaultCacheEntries, "in-memory suite cache capacity")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		modelsDir    = flag.String("models", "", "directory of *.cat model definitions to register at startup")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off by default)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux;
+		// serve it on a separate listener so profiling endpoints are never
+		// exposed on the public API address.
+		go func() {
+			log.Printf("memsynthd: pprof listening on %s", *pprofAddr)
+			srv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				log.Printf("memsynthd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	st, err := store.Open(*dataDir, *cacheEntries)
 	if err != nil {

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memsynth/internal/litmus"
 	"memsynth/internal/relation"
@@ -86,38 +87,261 @@ func (p Perturb) String() string {
 	}
 }
 
-// View presents the (possibly perturbed) relations of one execution to
-// memory-model axioms. All relations are restricted to live events; derived
-// relations are recomputed from the perturbed base relations, implementing
-// the paper's _p relations (Fig. 6).
-type View struct {
+// StaticCtx holds the execution-independent half of a view: every relation
+// determined by the (test, perturbation) pair alone — the live set, event
+// classes, po, po_loc, sameAddr, ext, rmw, and the dependency relations.
+// Computing it once and stamping many executions through it is what makes
+// the synthesis explore phase cheap: per execution only rf, co, fr, and
+// the RI-orphan set have to be rebuilt (View.Reset).
+//
+// A context and its views are not safe for concurrent use; the synthesis
+// engine gives each worker its own.
+type StaticCtx struct {
 	test    *litmus.Test
-	x       *Execution
 	perturb Perturb
 
 	n    int
 	live relation.Set
 
+	reads, writes, fences relation.Set
+
 	po, poLoc relation.Rel
 	sameAddr  relation.Rel
 	ext       relation.Rel // pairs on different threads
-	rf        relation.Rel
-	co        relation.Rel // transitive strict order per address
-	fr        relation.Rel
 	rmw       relation.Rel
 	dep       [3]relation.Rel // indexed by litmus.DepType
 	depAll    relation.Rel
 
-	reads, writes, fences relation.Set
-	orphans               relation.Set // reads whose rf source was RI'd
+	// liveWrites[a] is the set of live writes to address a (the fr targets
+	// of an initial read).
+	liveWrites []relation.Set
+
+	memo map[string]any // StaticMemo storage
+}
+
+// NewStaticCtx computes the static relations of test t under perturbation
+// p, implementing the execution-independent part of the paper's _p
+// relations (Fig. 6).
+func NewStaticCtx(t *litmus.Test, p Perturb) *StaticCtx {
+	c := &StaticCtx{test: t, perturb: p, n: len(t.Events)}
+	c.live = relation.UniverseSet(c.n)
+	if p.Kind == PRI {
+		c.live = c.live.Remove(p.Event)
+	}
+
+	// Event classes (live only).
+	for _, e := range t.Events {
+		if !c.live.Has(e.ID) {
+			continue
+		}
+		switch e.Kind {
+		case litmus.KRead:
+			c.reads = c.reads.Add(e.ID)
+		case litmus.KWrite:
+			c.writes = c.writes.Add(e.ID)
+		case litmus.KFence:
+			c.fences = c.fences.Add(e.ID)
+		}
+	}
+
+	// Program order (transitive) and same-address, restricted to live.
+	c.po = relation.New(c.n)
+	c.sameAddr = relation.New(c.n)
+	c.ext = relation.New(c.n)
+	for _, a := range t.Events {
+		if !c.live.Has(a.ID) {
+			continue
+		}
+		for _, b := range t.Events {
+			if a.ID == b.ID || !c.live.Has(b.ID) {
+				continue
+			}
+			if a.Thread == b.Thread && a.Index < b.Index {
+				c.po.Add(a.ID, b.ID)
+			}
+			if a.Thread != b.Thread {
+				c.ext.Add(a.ID, b.ID)
+			}
+			if a.Addr >= 0 && a.Addr == b.Addr {
+				c.sameAddr.Add(a.ID, b.ID)
+			}
+		}
+	}
+	c.poLoc = c.po.Intersect(c.sameAddr)
+
+	// Live writes per address, for the fr edges of initial reads.
+	c.liveWrites = make([]relation.Set, t.NumAddrs())
+	for _, e := range t.Events {
+		if e.Kind == litmus.KWrite && c.live.Has(e.ID) {
+			c.liveWrites[e.Addr] = c.liveWrites[e.Addr].Add(e.ID)
+		}
+	}
+
+	// rmw: pairs with both endpoints live; a pair is dissolved by PDRMW on
+	// its read and by PRD on its read (removing the data dependency that
+	// links the pair — paper Fig. 6 rmw_p).
+	c.rmw = relation.New(c.n)
+	for _, pair := range t.RMW {
+		r, w := pair[0], pair[1]
+		if !c.live.Has(r) || !c.live.Has(w) {
+			continue
+		}
+		if (p.Kind == PDRMW || p.Kind == PRD) && p.Event == r {
+			continue
+		}
+		c.rmw.Add(r, w)
+	}
+
+	// Dependencies: explicit deps plus the implicit data dependency of
+	// each RMW pair. PRD removes all deps originating at the event. PDRMW
+	// keeps the pair's data dependency (paper §3.2: "The po_loc and data
+	// dependencies between the load and the store remain in effect").
+	for i := range c.dep {
+		c.dep[i] = relation.New(c.n)
+	}
+	addDep := func(d litmus.Dep) {
+		if !c.live.Has(d.From) || !c.live.Has(d.To) {
+			return
+		}
+		if p.Kind == PRD && p.Event == d.From {
+			return
+		}
+		c.dep[d.Type].Add(d.From, d.To)
+	}
+	for _, d := range t.Deps {
+		addDep(d)
+	}
+	for _, pair := range t.RMW {
+		addDep(litmus.Dep{From: pair[0], To: pair[1], Type: litmus.DepData})
+	}
+	c.depAll = c.dep[litmus.DepAddr].Union(c.dep[litmus.DepData]).Union(c.dep[litmus.DepCtrl])
+
+	return c
+}
+
+// derived relation cache slots of a View (computed lazily per Reset).
+const (
+	derRFE = iota
+	derRFI
+	derCOE
+	derCOI
+	derFRE
+	derFRI
+	derCom
+	derCount
+)
+
+// View presents the (possibly perturbed) relations of one execution to
+// memory-model axioms. The static relations live in the shared StaticCtx;
+// the dynamic ones (rf, co, fr, orphans) are rebuilt into the view's own
+// scratch buffers by Reset, so one View can stamp through thousands of
+// executions without reallocating.
+type View struct {
+	c *StaticCtx
+	x *Execution
+
+	rf      relation.Rel
+	co      relation.Rel // transitive strict order per address
+	fr      relation.Rel
+	orphans relation.Set // reads whose rf source was RI'd
+
+	der   [derCount]relation.Rel
+	derOK uint8
 
 	memo map[string]any
+}
+
+// NewView allocates a view bound to this context, with its own dynamic
+// scratch buffers; call Reset to point it at an execution.
+func (c *StaticCtx) NewView() *View {
+	return &View{
+		c:  c,
+		rf: relation.New(c.n),
+		co: relation.New(c.n),
+		fr: relation.New(c.n),
+	}
+}
+
+// NewView builds the relational view of execution x under perturbation p.
+// It is the convenience constructor for one-shot checks; hot paths build a
+// StaticCtx once per (test, perturbation) and Reset a pooled view instead.
+func NewView(x *Execution, p Perturb) *View {
+	v := NewStaticCtx(x.Test, p).NewView()
+	v.Reset(x)
+	return v
+}
+
+// Reset points v at execution x (which must belong to the context's test),
+// rebuilding rf, co, fr, and the orphan set in place and invalidating the
+// per-execution caches (derived relations and Memo). x.SC is read lazily
+// by SCRel, so resetting after mutating only x.SC is valid and cheap.
+func (v *View) Reset(x *Execution) {
+	c := v.c
+	if x.Test != c.test {
+		panic("exec: Reset with execution of a different test")
+	}
+	v.x = x
+	v.derOK = 0
+	if v.memo != nil {
+		clear(v.memo)
+	}
+
+	// rf, recording orphaned reads (source removed by RI): such reads are
+	// left unconstrained — they contribute neither rf nor fr edges
+	// (paper §4.3).
+	v.rf.Clear()
+	v.orphans = 0
+	for m := c.reads; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(uint64(m))
+		src := x.RF[id]
+		if src < 0 {
+			continue // initial read
+		}
+		if !c.live.Has(src) {
+			v.orphans = v.orphans.Add(id)
+			continue
+		}
+		v.rf.Add(src, id)
+	}
+
+	// co: transitive closure of each address order, then restricted to
+	// live writes (the repair of Fig. 8 — restriction of the closure
+	// preserves order across a removed middle write).
+	v.co.Clear()
+	for _, ws := range x.CO {
+		for i := 0; i < len(ws); i++ {
+			if !c.live.Has(ws[i]) {
+				continue
+			}
+			var later relation.Set
+			for j := i + 1; j < len(ws); j++ {
+				if c.live.Has(ws[j]) {
+					later = later.Add(ws[j])
+				}
+			}
+			v.co.UnionRow(ws[i], later)
+		}
+	}
+
+	// fr: reads-before. A read from write w is fr-before every live write
+	// co-after w; an initial read is fr-before every live same-address
+	// write. Orphaned reads contribute nothing.
+	v.fr.Clear()
+	for m := c.reads.Minus(v.orphans); m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(uint64(m))
+		src := x.RF[id]
+		if src < 0 {
+			v.fr.UnionRow(id, c.liveWrites[c.test.Events[id].Addr])
+		} else {
+			v.fr.UnionRow(id, v.co.Successors(src))
+		}
+	}
 }
 
 // Memo returns the value cached under key, computing and caching it with
 // build on first use. Memory models use it to share expensive derived
 // relations (e.g. Power's preserved-program-order fixpoint) across the
-// axioms evaluated against one view.
+// axioms evaluated against one view. The cache is invalidated by Reset.
 func (v *View) Memo(key string, build func() any) any {
 	if v.memo == nil {
 		v.memo = make(map[string]any)
@@ -130,204 +354,75 @@ func (v *View) Memo(key string, build func() any) any {
 	return val
 }
 
-// NewView builds the relational view of execution x under perturbation p.
-func NewView(x *Execution, p Perturb) *View {
-	t := x.Test
-	v := &View{test: t, x: x, perturb: p, n: len(t.Events)}
-	v.live = relation.UniverseSet(v.n)
-	if p.Kind == PRI {
-		v.live = v.live.Remove(p.Event)
+// StaticMemo caches build's value in the view's static context: it
+// survives Reset and is shared by every view of the same (test,
+// perturbation). build must depend only on execution-independent state —
+// po, dependencies, event classes, effective orders/fences/scopes — never
+// on rf, co, fr, orphans, or the sc order.
+func (v *View) StaticMemo(key string, build func() any) any {
+	c := v.c
+	if c.memo == nil {
+		c.memo = make(map[string]any)
 	}
-
-	// Event classes (live only).
-	for _, e := range t.Events {
-		if !v.live.Has(e.ID) {
-			continue
-		}
-		switch e.Kind {
-		case litmus.KRead:
-			v.reads = v.reads.Add(e.ID)
-		case litmus.KWrite:
-			v.writes = v.writes.Add(e.ID)
-		case litmus.KFence:
-			v.fences = v.fences.Add(e.ID)
-		}
+	if val, ok := c.memo[key]; ok {
+		return val
 	}
-
-	// Program order (transitive) and same-address, restricted to live.
-	v.po = relation.New(v.n)
-	v.sameAddr = relation.New(v.n)
-	v.ext = relation.New(v.n)
-	for _, a := range t.Events {
-		if !v.live.Has(a.ID) {
-			continue
-		}
-		for _, b := range t.Events {
-			if a.ID == b.ID || !v.live.Has(b.ID) {
-				continue
-			}
-			if a.Thread == b.Thread && a.Index < b.Index {
-				v.po.Add(a.ID, b.ID)
-			}
-			if a.Thread != b.Thread {
-				v.ext.Add(a.ID, b.ID)
-			}
-			if a.Addr >= 0 && a.Addr == b.Addr {
-				v.sameAddr.Add(a.ID, b.ID)
-			}
-		}
-	}
-	v.poLoc = v.po.Intersect(v.sameAddr)
-
-	// rf, recording orphaned reads (source removed by RI): such reads are
-	// left unconstrained — they contribute neither rf nor fr edges
-	// (paper §4.3).
-	v.rf = relation.New(v.n)
-	for _, e := range t.Events {
-		if e.Kind != litmus.KRead || !v.live.Has(e.ID) {
-			continue
-		}
-		src := x.RF[e.ID]
-		if src < 0 {
-			continue // initial read
-		}
-		if !v.live.Has(src) {
-			v.orphans = v.orphans.Add(e.ID)
-			continue
-		}
-		v.rf.Add(src, e.ID)
-	}
-
-	// co: transitive closure of each address order, then restricted to
-	// live writes (the repair of Fig. 8 — restriction of the closure
-	// preserves order across a removed middle write).
-	v.co = relation.New(v.n)
-	for _, ws := range x.CO {
-		for i := 0; i < len(ws); i++ {
-			if !v.live.Has(ws[i]) {
-				continue
-			}
-			for j := i + 1; j < len(ws); j++ {
-				if v.live.Has(ws[j]) {
-					v.co.Add(ws[i], ws[j])
-				}
-			}
-		}
-	}
-
-	// fr: reads-before. A read from write w is fr-before every live write
-	// co-after w; an initial read is fr-before every live same-address
-	// write. Orphaned reads contribute nothing.
-	v.fr = relation.New(v.n)
-	for _, e := range t.Events {
-		if e.Kind != litmus.KRead || !v.live.Has(e.ID) || v.orphans.Has(e.ID) {
-			continue
-		}
-		src := x.RF[e.ID]
-		if src < 0 {
-			for _, w := range writesTo(t, e.Addr) {
-				if v.live.Has(w) {
-					v.fr.Add(e.ID, w)
-				}
-			}
-		} else {
-			for _, w := range v.co.Successors(src).Members() {
-				v.fr.Add(e.ID, w)
-			}
-		}
-	}
-
-	// rmw: pairs with both endpoints live; a pair is dissolved by PDRMW on
-	// its read and by PRD on its read (removing the data dependency that
-	// links the pair — paper Fig. 6 rmw_p).
-	v.rmw = relation.New(v.n)
-	for _, pair := range t.RMW {
-		r, w := pair[0], pair[1]
-		if !v.live.Has(r) || !v.live.Has(w) {
-			continue
-		}
-		if (p.Kind == PDRMW || p.Kind == PRD) && p.Event == r {
-			continue
-		}
-		v.rmw.Add(r, w)
-	}
-
-	// Dependencies: explicit deps plus the implicit data dependency of
-	// each RMW pair. PRD removes all deps originating at the event. PDRMW
-	// keeps the pair's data dependency (paper §3.2: "The po_loc and data
-	// dependencies between the load and the store remain in effect").
-	for i := range v.dep {
-		v.dep[i] = relation.New(v.n)
-	}
-	addDep := func(d litmus.Dep) {
-		if !v.live.Has(d.From) || !v.live.Has(d.To) {
-			return
-		}
-		if p.Kind == PRD && p.Event == d.From {
-			return
-		}
-		v.dep[d.Type].Add(d.From, d.To)
-	}
-	for _, d := range t.Deps {
-		addDep(d)
-	}
-	for _, pair := range t.RMW {
-		addDep(litmus.Dep{From: pair[0], To: pair[1], Type: litmus.DepData})
-	}
-	v.depAll = v.dep[litmus.DepAddr].Union(v.dep[litmus.DepData]).Union(v.dep[litmus.DepCtrl])
-
-	return v
+	val := build()
+	c.memo[key] = val
+	return val
 }
 
-func writesTo(t *litmus.Test, addr int) []int {
-	var out []int
-	for _, e := range t.Events {
-		if e.Kind == litmus.KWrite && e.Addr == addr {
-			out = append(out, e.ID)
+// derived lazily computes cache slot k with build on first use per Reset.
+func (v *View) derived(k uint8, build func(dst relation.Rel)) relation.Rel {
+	if v.derOK&(1<<k) == 0 {
+		if v.der[k].N() != v.c.n {
+			v.der[k] = relation.New(v.c.n)
 		}
+		build(v.der[k])
+		v.derOK |= 1 << k
 	}
-	return out
+	return v.der[k]
 }
 
 // Test returns the underlying litmus test.
-func (v *View) Test() *litmus.Test { return v.test }
+func (v *View) Test() *litmus.Test { return v.c.test }
 
 // Execution returns the underlying execution.
 func (v *View) Execution() *Execution { return v.x }
 
 // Perturbation returns the applied perturbation.
-func (v *View) Perturbation() Perturb { return v.perturb }
+func (v *View) Perturbation() Perturb { return v.c.perturb }
 
 // N returns the universe size (all events, live or not).
-func (v *View) N() int { return v.n }
+func (v *View) N() int { return v.c.n }
 
 // Live returns the set of live (non-removed) events.
-func (v *View) Live() relation.Set { return v.live }
+func (v *View) Live() relation.Set { return v.c.live }
 
 // Reads returns the live read events.
-func (v *View) Reads() relation.Set { return v.reads }
+func (v *View) Reads() relation.Set { return v.c.reads }
 
 // Writes returns the live write events.
-func (v *View) Writes() relation.Set { return v.writes }
+func (v *View) Writes() relation.Set { return v.c.writes }
 
 // Fences returns the live fence events.
-func (v *View) Fences() relation.Set { return v.fences }
+func (v *View) Fences() relation.Set { return v.c.fences }
 
 // Orphans returns the live reads whose rf source was removed; their return
 // value is unconstrained.
 func (v *View) Orphans() relation.Set { return v.orphans }
 
 // PO returns (perturbed) program order, transitive.
-func (v *View) PO() relation.Rel { return v.po }
+func (v *View) PO() relation.Rel { return v.c.po }
 
 // POLoc returns program order restricted to same-address pairs.
-func (v *View) POLoc() relation.Rel { return v.poLoc }
+func (v *View) POLoc() relation.Rel { return v.c.poLoc }
 
 // SameAddr returns the symmetric same-address relation over memory events.
-func (v *View) SameAddr() relation.Rel { return v.sameAddr }
+func (v *View) SameAddr() relation.Rel { return v.c.sameAddr }
 
 // Ext returns the cross-thread (external) pair relation.
-func (v *View) Ext() relation.Rel { return v.ext }
+func (v *View) Ext() relation.Rel { return v.c.ext }
 
 // RF returns the (perturbed) reads-from relation.
 func (v *View) RF() relation.Rel { return v.rf }
@@ -339,71 +434,108 @@ func (v *View) CO() relation.Rel { return v.co }
 func (v *View) FR() relation.Rel { return v.fr }
 
 // RMW returns the (perturbed) read-modify-write pairing.
-func (v *View) RMW() relation.Rel { return v.rmw }
+func (v *View) RMW() relation.Rel { return v.c.rmw }
 
 // Dep returns the (perturbed) dependency relation of one flavor.
-func (v *View) Dep(t litmus.DepType) relation.Rel { return v.dep[t] }
+func (v *View) Dep(t litmus.DepType) relation.Rel { return v.c.dep[t] }
 
 // DepAll returns the union of all dependency flavors.
-func (v *View) DepAll() relation.Rel { return v.depAll }
+func (v *View) DepAll() relation.Rel { return v.c.depAll }
 
 // RFE returns external reads-from (across threads).
-func (v *View) RFE() relation.Rel { return v.rf.Intersect(v.ext) }
+func (v *View) RFE() relation.Rel {
+	return v.derived(derRFE, func(dst relation.Rel) {
+		dst.CopyFrom(v.rf)
+		dst.IntersectWith(v.c.ext)
+	})
+}
 
 // RFI returns internal reads-from (same thread).
-func (v *View) RFI() relation.Rel { return v.rf.Minus(v.ext) }
+func (v *View) RFI() relation.Rel {
+	return v.derived(derRFI, func(dst relation.Rel) {
+		dst.CopyFrom(v.rf)
+		dst.MinusWith(v.c.ext)
+	})
+}
 
 // COE returns external coherence edges.
-func (v *View) COE() relation.Rel { return v.co.Intersect(v.ext) }
+func (v *View) COE() relation.Rel {
+	return v.derived(derCOE, func(dst relation.Rel) {
+		dst.CopyFrom(v.co)
+		dst.IntersectWith(v.c.ext)
+	})
+}
 
 // COI returns internal coherence edges.
-func (v *View) COI() relation.Rel { return v.co.Minus(v.ext) }
+func (v *View) COI() relation.Rel {
+	return v.derived(derCOI, func(dst relation.Rel) {
+		dst.CopyFrom(v.co)
+		dst.MinusWith(v.c.ext)
+	})
+}
 
 // FRE returns external from-reads edges.
-func (v *View) FRE() relation.Rel { return v.fr.Intersect(v.ext) }
+func (v *View) FRE() relation.Rel {
+	return v.derived(derFRE, func(dst relation.Rel) {
+		dst.CopyFrom(v.fr)
+		dst.IntersectWith(v.c.ext)
+	})
+}
 
 // FRI returns internal from-reads edges.
-func (v *View) FRI() relation.Rel { return v.fr.Minus(v.ext) }
+func (v *View) FRI() relation.Rel {
+	return v.derived(derFRI, func(dst relation.Rel) {
+		dst.CopyFrom(v.fr)
+		dst.MinusWith(v.c.ext)
+	})
+}
 
 // Com returns the communication relation rf ∪ co ∪ fr.
-func (v *View) Com() relation.Rel { return v.rf.Union(v.co).Union(v.fr) }
+func (v *View) Com() relation.Rel {
+	return v.derived(derCom, func(dst relation.Rel) {
+		dst.CopyFrom(v.rf)
+		dst.UnionWith(v.co)
+		dst.UnionWith(v.fr)
+	})
+}
 
 // OrderOf returns the effective memory order of event id, honoring a PDMO
 // perturbation.
 func (v *View) OrderOf(id int) litmus.Order {
-	if v.perturb.Kind == PDMO && v.perturb.Event == id {
-		return v.perturb.NewOrder
+	if v.c.perturb.Kind == PDMO && v.c.perturb.Event == id {
+		return v.c.perturb.NewOrder
 	}
-	return v.test.Events[id].Order
+	return v.c.test.Events[id].Order
 }
 
 // FenceOf returns the effective fence kind of event id, honoring a PDF
 // perturbation. Non-fence events return FNone.
 func (v *View) FenceOf(id int) litmus.FenceKind {
-	if v.test.Events[id].Kind != litmus.KFence {
+	if v.c.test.Events[id].Kind != litmus.KFence {
 		return litmus.FNone
 	}
-	if v.perturb.Kind == PDF && v.perturb.Event == id {
-		return v.perturb.NewFence
+	if v.c.perturb.Kind == PDF && v.c.perturb.Event == id {
+		return v.c.perturb.NewFence
 	}
-	return v.test.Events[id].Fence
+	return v.c.test.Events[id].Fence
 }
 
 // ScopeOf returns the effective scope of event id, honoring a PDS
 // perturbation.
 func (v *View) ScopeOf(id int) litmus.Scope {
-	if v.perturb.Kind == PDS && v.perturb.Event == id {
-		return v.perturb.NewScope
+	if v.c.perturb.Kind == PDS && v.c.perturb.Event == id {
+		return v.c.perturb.NewScope
 	}
-	return v.test.Events[id].Scope
+	return v.c.test.Events[id].Scope
 }
 
 // Where returns the set of live events satisfying pred.
 func (v *View) Where(pred func(id int) bool) relation.Set {
 	var s relation.Set
-	for _, m := range v.live.Members() {
-		if pred(m) {
-			s = s.Add(m)
+	for m := v.c.live; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(uint64(m))
+		if pred(id) {
+			s = s.Add(id)
 		}
 	}
 	return s
@@ -427,10 +559,18 @@ func (v *View) FencesOfKind(ks ...litmus.FenceKind) relation.Set {
 
 // FenceRel returns the ordering induced by fences of the given kinds:
 // (po :> F) ; po — every pair of events separated by such a fence in
-// program order (paper Fig. 4's fence function).
+// program order (paper Fig. 4's fence function). Fence kinds and po are
+// execution-independent, so the result is cached in the static context.
 func (v *View) FenceRel(ks ...litmus.FenceKind) relation.Rel {
-	f := v.FencesOfKind(ks...)
-	return v.po.RestrictRange(f).Join(v.po)
+	key := make([]byte, 0, 16)
+	key = append(key, "fencerel:"...)
+	for _, k := range ks {
+		key = append(key, byte(k))
+	}
+	return v.StaticMemo(string(key), func() any {
+		f := v.FencesOfKind(ks...)
+		return v.c.po.RestrictRange(f).Join(v.c.po)
+	}).(relation.Rel)
 }
 
 // SCRel returns the strict total order over live FSC fences induced by the
@@ -438,12 +578,12 @@ func (v *View) FenceRel(ks ...litmus.FenceKind) relation.Rel {
 // the order). If reversed is set, the order is reversed — used by the SCC
 // workaround of paper Fig. 19.
 func (v *View) SCRel(reversed bool) relation.Rel {
-	r := relation.New(v.n)
+	r := relation.New(v.c.n)
 	if v.x.SC == nil {
 		return r
 	}
 	inOrder := func(id int) bool {
-		return v.live.Has(id) && v.FenceOf(id) == litmus.FSC
+		return v.c.live.Has(id) && v.FenceOf(id) == litmus.FSC
 	}
 	for i := 0; i < len(v.x.SC); i++ {
 		if !inOrder(v.x.SC[i]) {
@@ -473,24 +613,30 @@ func (v *View) SCEdgeCount() int {
 // ScopeCompatible returns the relation containing pairs (a, b) whose scopes
 // mutually cover each other's thread: a's effective scope includes b's
 // thread and vice versa. Events with ScopeNone cover all threads (non-scoped
-// models are unaffected).
+// models are unaffected). Scopes are execution-independent, so the result
+// is cached in the static context.
 func (v *View) ScopeCompatible() relation.Rel {
-	r := relation.New(v.n)
-	covers := func(a, b int) bool {
-		switch v.ScopeOf(a) {
-		case litmus.ScopeNone, litmus.ScopeSys:
-			return true
-		case litmus.ScopeWG:
-			return v.test.GroupOf(v.test.Events[a].Thread) == v.test.GroupOf(v.test.Events[b].Thread)
+	return v.StaticMemo("scopecompat", func() any {
+		c := v.c
+		r := relation.New(c.n)
+		covers := func(a, b int) bool {
+			switch v.ScopeOf(a) {
+			case litmus.ScopeNone, litmus.ScopeSys:
+				return true
+			case litmus.ScopeWG:
+				return c.test.GroupOf(c.test.Events[a].Thread) == c.test.GroupOf(c.test.Events[b].Thread)
+			}
+			return false
 		}
-		return false
-	}
-	for _, a := range v.live.Members() {
-		for _, b := range v.live.Members() {
-			if covers(a, b) && covers(b, a) {
-				r.Add(a, b)
+		for ma := c.live; ma != 0; ma &= ma - 1 {
+			a := bits.TrailingZeros64(uint64(ma))
+			for mb := c.live; mb != 0; mb &= mb - 1 {
+				b := bits.TrailingZeros64(uint64(mb))
+				if covers(a, b) && covers(b, a) {
+					r.Add(a, b)
+				}
 			}
 		}
-	}
-	return r
+		return r
+	}).(relation.Rel)
 }

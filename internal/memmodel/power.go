@@ -13,24 +13,46 @@ type powerDerived struct {
 	fences relation.Rel
 	ffence relation.Rel
 	hb     relation.Rel
+	hbRT   relation.Rel
 	prop   relation.Rel
 }
 
-// derivePower computes preserved program order (the fixed point of the four
-// mutually recursive relations ii/ic/ci/cc), the fence relations, hb, and
-// prop. arm selects the ARMv7 variant: no lwsync, and cc0 without po_loc
-// (reflecting the ARMv7 subtleties the formalization leaves out).
-func derivePower(v *exec.View, arm bool) *powerDerived {
-	key := "power"
+// powerStatic holds the execution-independent half of the Power derivation
+// (cached per static context via View.StaticMemo) together with the pooled
+// scratch buffers the per-execution derivation writes into. One derivation
+// runs at a time per context (views are single-threaded), so sharing the
+// scratch across executions is safe and keeps the hot fixpoint
+// allocation-free.
+type powerStatic struct {
+	rr, rw, ww relation.Rel
+	cc0        relation.Rel // dp ∪ ctrl ∪ addrPo [∪ po_loc on Power]
+	ii0s       relation.Rel // static part of ii0: dp
+	ci0s       relation.Rel // static part of ci0: ctrl+isync
+	ffence     relation.Rel
+	fences     relation.Rel
+
+	// scratch for derive (per-execution values, pooled across executions)
+	ii0, ci0           relation.Rel
+	ii, ic, ci, cc     relation.Rel
+	nii, nic, nci, ncc relation.Rel
+	tmp, chain         relation.Rel
+	propBase, comRT    relation.Rel
+	d                  powerDerived
+}
+
+func powerStaticOf(v *exec.View, arm bool) *powerStatic {
+	key := "power.static"
 	if arm {
-		key = "armv7"
+		key = "armv7.static"
 	}
-	return v.Memo(key, func() any {
+	return v.StaticMemo(key, func() any {
 		n := v.N()
-		rr := relation.Cross(n, v.Reads(), v.Reads())
-		rw := relation.Cross(n, v.Reads(), v.Writes())
+		s := &powerStatic{
+			rr: relation.Cross(n, v.Reads(), v.Reads()),
+			rw: relation.Cross(n, v.Reads(), v.Writes()),
+			ww: relation.Cross(n, v.Writes(), v.Writes()),
+		}
 		wr := relation.Cross(n, v.Writes(), v.Reads())
-		ww := relation.Cross(n, v.Writes(), v.Writes())
 
 		dp := v.Dep(litmus.DepAddr).Union(v.Dep(litmus.DepData))
 		ctrl := v.Dep(litmus.DepCtrl)
@@ -38,50 +60,136 @@ func derivePower(v *exec.View, arm bool) *powerDerived {
 		// ctrl+isync: control dependencies refined through an isync
 		// fence order the read before everything po-after the fence.
 		isync := v.FencesOfKind(litmus.FISync)
-		ctrlisync := ctrl.RestrictRange(isync).Join(v.PO())
-
-		rdw := v.POLoc().Intersect(v.FRE().Join(v.RFE()))
-		detour := v.POLoc().Intersect(v.COE().Join(v.RFE()))
-
-		ii0 := dp.Union(rdw).Union(v.RFI())
-		ci0 := ctrlisync.Union(detour)
-		ic0 := relation.New(n)
-		cc0 := dp.Union(ctrl).Union(addrPo)
+		s.ii0s = dp
+		s.ci0s = ctrl.RestrictRange(isync).Join(v.PO())
+		s.cc0 = dp.Union(ctrl).Union(addrPo)
 		if !arm {
-			cc0 = cc0.Union(v.POLoc())
+			s.cc0 = s.cc0.Union(v.POLoc())
 		}
 
-		ii, ic, ci, cc := ii0, ic0, ci0, cc0
-		for {
-			nii := ii0.Union(ci).Union(ic.Join(ci)).Union(ii.Join(ii))
-			nic := ic0.Union(ii).Union(cc).Union(ic.Join(cc)).Union(ii.Join(ic))
-			nci := ci0.Union(ci.Join(ii)).Union(cc.Join(ci))
-			ncc := cc0.Union(ci).Union(ci.Join(ic)).Union(cc.Join(cc))
-			if nii.Equal(ii) && nic.Equal(ic) && nci.Equal(ci) && ncc.Equal(cc) {
-				break
-			}
-			ii, ic, ci, cc = nii, nic, nci, ncc
-		}
-		ppo := rr.Intersect(ii).Union(rw.Intersect(ic))
-
-		ffence := v.FenceRel(litmus.FSync)
-		var fences relation.Rel
+		s.ffence = v.FenceRel(litmus.FSync)
 		if arm {
-			fences = ffence
+			s.fences = s.ffence
 		} else {
 			lwfence := v.FenceRel(litmus.FLwSync).Minus(wr)
-			fences = lwfence.Union(ffence)
+			s.fences = lwfence.Union(s.ffence)
+		}
+		s.d.fences, s.d.ffence = s.fences, s.ffence
+
+		for _, r := range []*relation.Rel{
+			&s.ii0, &s.ci0, &s.ii, &s.ic, &s.ci, &s.cc,
+			&s.nii, &s.nic, &s.nci, &s.ncc, &s.tmp, &s.chain,
+			&s.propBase, &s.comRT,
+			&s.d.ppo, &s.d.hb, &s.d.hbRT, &s.d.prop,
+		} {
+			*r = relation.New(n)
+		}
+		return s
+	}).(*powerStatic)
+}
+
+// derivePower computes preserved program order (the fixed point of the four
+// mutually recursive relations ii/ic/ci/cc), the fence relations, hb, and
+// prop. arm selects the ARMv7 variant: no lwsync, and cc0 without po_loc
+// (reflecting the ARMv7 subtleties the formalization leaves out). The
+// static half comes from powerStaticOf; the dynamic half is recomputed
+// into that bundle's pooled scratch, so a steady-state derivation does not
+// allocate.
+func derivePower(v *exec.View, arm bool) *powerDerived {
+	key := "power"
+	if arm {
+		key = "armv7"
+	}
+	return v.Memo(key, func() any {
+		s := powerStaticOf(v, arm)
+
+		// ii0 = dp ∪ rdw ∪ rfi, with rdw = po_loc ∩ (fre;rfe).
+		s.ii0.CopyFrom(s.ii0s)
+		v.FRE().JoinInto(v.RFE(), s.tmp)
+		s.tmp.IntersectWith(v.POLoc())
+		s.ii0.UnionWith(s.tmp)
+		s.ii0.UnionWith(v.RFI())
+
+		// ci0 = ctrl+isync ∪ detour, with detour = po_loc ∩ (coe;rfe).
+		s.ci0.CopyFrom(s.ci0s)
+		v.COE().JoinInto(v.RFE(), s.tmp)
+		s.tmp.IntersectWith(v.POLoc())
+		s.ci0.UnionWith(s.tmp)
+
+		s.ii.CopyFrom(s.ii0)
+		s.ic.Clear() // ic0 = ∅
+		s.ci.CopyFrom(s.ci0)
+		s.cc.CopyFrom(s.cc0)
+		for {
+			// nii = ii0 ∪ ci ∪ ic;ci ∪ ii;ii
+			s.nii.CopyFrom(s.ii0)
+			s.nii.UnionWith(s.ci)
+			s.ic.JoinInto(s.ci, s.tmp)
+			s.nii.UnionWith(s.tmp)
+			s.ii.JoinInto(s.ii, s.tmp)
+			s.nii.UnionWith(s.tmp)
+			// nic = ic0 ∪ ii ∪ cc ∪ ic;cc ∪ ii;ic
+			s.nic.CopyFrom(s.ii)
+			s.nic.UnionWith(s.cc)
+			s.ic.JoinInto(s.cc, s.tmp)
+			s.nic.UnionWith(s.tmp)
+			s.ii.JoinInto(s.ic, s.tmp)
+			s.nic.UnionWith(s.tmp)
+			// nci = ci0 ∪ ci;ii ∪ cc;ci
+			s.nci.CopyFrom(s.ci0)
+			s.ci.JoinInto(s.ii, s.tmp)
+			s.nci.UnionWith(s.tmp)
+			s.cc.JoinInto(s.ci, s.tmp)
+			s.nci.UnionWith(s.tmp)
+			// ncc = cc0 ∪ ci ∪ ci;ic ∪ cc;cc
+			s.ncc.CopyFrom(s.cc0)
+			s.ncc.UnionWith(s.ci)
+			s.ci.JoinInto(s.ic, s.tmp)
+			s.ncc.UnionWith(s.tmp)
+			s.cc.JoinInto(s.cc, s.tmp)
+			s.ncc.UnionWith(s.tmp)
+			if s.nii.Equal(s.ii) && s.nic.Equal(s.ic) && s.nci.Equal(s.ci) && s.ncc.Equal(s.cc) {
+				break
+			}
+			s.ii, s.nii = s.nii, s.ii
+			s.ic, s.nic = s.nic, s.ic
+			s.ci, s.nci = s.nci, s.ci
+			s.cc, s.ncc = s.ncc, s.cc
 		}
 
-		hb := ppo.Union(fences).Union(v.RFE())
-		hbRT := hb.ReflexiveClosure()
+		// ppo = (rr ∩ ii) ∪ (rw ∩ ic)
+		d := &s.d
+		d.ppo.CopyFrom(s.ii)
+		d.ppo.IntersectWith(s.rr)
+		s.tmp.CopyFrom(s.ic)
+		s.tmp.IntersectWith(s.rw)
+		d.ppo.UnionWith(s.tmp)
 
-		propBase := fences.Union(v.RFE().Join(fences)).Join(hbRT)
-		comRT := v.Com().ReflexiveClosure()
-		prop := ww.Intersect(propBase).
-			Union(comRT.Join(propBase.ReflexiveClosure()).Join(ffence).Join(hbRT))
+		// hb = ppo ∪ fences ∪ rfe; hbRT = *hb.
+		d.hb.CopyFrom(d.ppo)
+		d.hb.UnionWith(s.fences)
+		d.hb.UnionWith(v.RFE())
+		d.hbRT.CopyFrom(d.hb)
+		d.hbRT.ReflexiveCloseIn()
 
-		return &powerDerived{ppo: ppo, fences: fences, ffence: ffence, hb: hb, prop: prop}
+		// propBase = (fences ∪ rfe;fences) ; hbRT
+		v.RFE().JoinInto(s.fences, s.tmp)
+		s.tmp.UnionWith(s.fences)
+		s.tmp.JoinInto(d.hbRT, s.propBase)
+
+		// prop = (ww ∩ propBase) ∪ comRT ; *propBase ; ffence ; hbRT
+		s.comRT.CopyFrom(v.Com())
+		s.comRT.ReflexiveCloseIn()
+		s.chain.CopyFrom(s.propBase)
+		s.chain.ReflexiveCloseIn()
+		s.comRT.JoinInto(s.chain, s.tmp)
+		s.tmp.JoinInto(d.ffence, s.chain)
+		s.chain.JoinInto(d.hbRT, s.tmp)
+		d.prop.CopyFrom(s.ww)
+		d.prop.IntersectWith(s.propBase)
+		d.prop.UnionWith(s.tmp)
+
+		return d
 	}).(*powerDerived)
 }
 
@@ -112,7 +220,7 @@ func powerAxioms(arm bool) []Axiom {
 			Name: "observation",
 			Holds: func(v *exec.View) bool {
 				d := derivePower(v, arm)
-				return v.FRE().Join(d.prop).Join(d.hb.ReflexiveClosure()).Irreflexive()
+				return v.FRE().Join(d.prop).Join(d.hbRT).Irreflexive()
 			},
 		},
 		{

@@ -6,6 +6,53 @@ import (
 	"memsynth/internal/relation"
 )
 
+// sccStatic holds the execution-independent half of the SCC/HSA derivation
+// (cached per static context via View.StaticMemo) together with pooled
+// scratch for the per-execution sync and causality computations.
+type sccStatic struct {
+	releasers, acquirers relation.Set
+	prefix, suffix       relation.Rel
+	poRT                 relation.Rel
+
+	// scratch (per-execution values, pooled across executions)
+	chain, sync, cause, tmp relation.Rel
+}
+
+func sccStaticOf(v *exec.View, scoped bool) *sccStatic {
+	key := "scc.static"
+	if scoped {
+		key = "scc.scoped.static"
+	}
+	return v.StaticMemo(key, func() any {
+		n := v.N()
+		fences := v.Fences()
+		releases := v.Where(func(id int) bool {
+			return v.Writes().Has(id) && v.OrderOf(id) == litmus.ORelease
+		})
+		acquires := v.Where(func(id int) bool {
+			return v.Reads().Has(id) && v.OrderOf(id) == litmus.OAcquire
+		})
+		s := &sccStatic{
+			releasers: releases.Union(fences),
+			acquirers: acquires.Union(fences),
+		}
+
+		iden := relation.IdentityOn(n, v.Live())
+		s.prefix = iden.
+			Union(v.PO().RestrictDomain(fences)).
+			Union(v.POLoc().RestrictDomain(releases))
+		s.suffix = iden.
+			Union(v.PO().RestrictRange(fences)).
+			Union(v.POLoc().RestrictRange(acquires))
+		s.poRT = v.PO().ReflexiveClosure()
+
+		for _, r := range []*relation.Rel{&s.chain, &s.sync, &s.cause, &s.tmp} {
+			*r = relation.New(n)
+		}
+		return s
+	}).(*sccStatic)
+}
+
 // sccSync computes the SCC synchronization relation of paper Fig. 17:
 //
 //	prefix = iden + (Fence <: po) + (Release <: po_loc)
@@ -15,51 +62,63 @@ import (
 // where Releasers are release writes and fences, and Acquirers are acquire
 // reads and fences. When scoped is set, sync edges additionally require the
 // endpoints' scopes to mutually cover each other (the HSA-like variant).
+// The result lives in the static bundle's pooled sync buffer and is
+// memoized per execution (sync does not depend on the sc order).
 func sccSync(v *exec.View, scoped bool) relation.Rel {
-	n := v.N()
-	fences := v.Fences()
-	releases := v.Where(func(id int) bool {
-		return v.Writes().Has(id) && v.OrderOf(id) == litmus.ORelease
-	})
-	acquires := v.Where(func(id int) bool {
-		return v.Reads().Has(id) && v.OrderOf(id) == litmus.OAcquire
-	})
-	releasers := releases.Union(fences)
-	acquirers := acquires.Union(fences)
-
-	iden := relation.IdentityOn(n, v.Live())
-	prefix := iden.
-		Union(v.PO().RestrictDomain(fences)).
-		Union(v.POLoc().RestrictDomain(releases))
-	suffix := iden.
-		Union(v.PO().RestrictRange(fences)).
-		Union(v.POLoc().RestrictRange(acquires))
-
-	chain := v.RF().Union(v.RMW()).Closure()
-	sync := prefix.Join(chain).Join(suffix).Restrict(releasers, acquirers)
+	key := "scc.sync"
 	if scoped {
-		sync = sync.Intersect(v.ScopeCompatible())
+		key = "scc.scoped.sync"
 	}
-	return sync
+	return v.Memo(key, func() any {
+		s := sccStaticOf(v, scoped)
+		s.chain.CopyFrom(v.RF())
+		s.chain.UnionWith(v.RMW())
+		s.chain.CloseIn()
+		s.prefix.JoinInto(s.chain, s.tmp)
+		s.tmp.JoinInto(s.suffix, s.sync)
+		s.sync.RestrictIn(s.releasers, s.acquirers)
+		if scoped {
+			s.sync.IntersectWith(v.ScopeCompatible())
+		}
+		return s.sync
+	}).(relation.Rel)
 }
 
 // sccCause computes cause = *po.(sc + sync).*po, with the sc order possibly
 // reversed (the workaround of paper Fig. 19). For the scoped variant the sc
-// order is additionally restricted to scope-compatible fence pairs.
+// order is additionally restricted to scope-compatible fence pairs. The
+// result lives in the static bundle's pooled cause buffer, valid until the
+// next sccCause call on the same context.
 func sccCause(v *exec.View, scoped, reverseSC bool) relation.Rel {
+	s := sccStaticOf(v, scoped)
 	sc := v.SCRel(reverseSC)
 	if scoped {
 		sc = sc.Intersect(v.ScopeCompatible())
 	}
 	sync := sccSync(v, scoped)
-	poRT := v.PO().ReflexiveClosure()
-	return poRT.Join(sc.Union(sync)).Join(poRT)
+	s.tmp.CopyFrom(sc)
+	s.tmp.UnionWith(sync)
+	s.poRT.JoinInto(s.tmp, s.cause)
+	s.cause.JoinInto(s.poRT, s.tmp)
+	s.cause.CopyFrom(s.tmp)
+	return s.cause
 }
 
 func sccCausalityHolds(v *exec.View, scoped, reverseSC bool) bool {
+	s := sccStaticOf(v, scoped)
 	cause := sccCause(v, scoped, reverseSC)
-	comRT := v.Com().ReflexiveClosure()
-	return comRT.Join(cause.Closure()).Irreflexive()
+	s.tmp.CopyFrom(cause)
+	s.tmp.CloseIn()
+	comRT := v.Com()
+	// com* ; ^cause irreflexive ⟺ ∀i: i ∉ (com*;^cause)(i). Fold the
+	// reflexive closure of com in by also checking ^cause's own diagonal.
+	if !s.tmp.Irreflexive() {
+		return false
+	}
+	s.chain.CopyFrom(comRT)
+	s.chain.ReflexiveCloseIn()
+	s.chain.JoinInto(s.tmp, s.cause)
+	return s.cause.Irreflexive()
 }
 
 func sccAxioms(scoped bool) []Axiom {

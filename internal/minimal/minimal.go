@@ -20,6 +20,13 @@
 //     under some total sc order.
 //
 // With at most one sc edge this degenerates exactly to Fig. 19.
+//
+// The evaluation-context machinery is amortized for the synthesis explore
+// hot path: a Checker binds to one program, computes the relaxation
+// applications, the sc-order permutations, and one static evaluation
+// context (exec.StaticCtx plus a pooled exec.View) per perturbation once,
+// and then stamps every execution of the program through those pooled
+// contexts.
 package minimal
 
 import (
@@ -38,8 +45,10 @@ type Verdict struct {
 	// relaxation application makes the outcome valid under the full
 	// (perturbed) model for some sc order.
 	AllRelaxationsObservable bool
-	// FailingRelaxation, when AllRelaxationsObservable is false, is the
-	// first relaxation under which the outcome stays forbidden.
+	// FailingRelaxation, when AllRelaxationsObservable is false, is a
+	// relaxation under which the outcome stays forbidden — the first in
+	// application order for the one-shot Check, or the first the
+	// Checker's fail-fast ordering tried for pooled checks.
 	FailingRelaxation exec.Perturb
 }
 
@@ -52,6 +61,37 @@ func (v Verdict) MinimalFor() []int {
 	return v.ViolatedAxioms
 }
 
+// scFences returns the FSC fence event IDs of t in event order.
+func scFences(t *litmus.Test) []int {
+	var fences []int
+	for _, e := range t.Events {
+		if e.Kind == litmus.KFence && e.Fence == litmus.FSC {
+			fences = append(fences, e.ID)
+		}
+	}
+	return fences
+}
+
+// permutations returns every permutation of items (which is scrambled and
+// restored in place).
+func permutations(items []int) [][]int {
+	var perms [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(items) {
+			perms = append(perms, append([]int(nil), items...))
+			return
+		}
+		for i := k; i < len(items); i++ {
+			items[k], items[i] = items[i], items[k]
+			rec(k + 1)
+			items[k], items[i] = items[i], items[k]
+		}
+	}
+	rec(0)
+	return perms
+}
+
 // scOrders returns the sc orders to quantify over: every permutation of the
 // test's FSC fences when the model uses an sc order, or just the execution's
 // own (possibly nil) order otherwise.
@@ -59,30 +99,172 @@ func scOrders(m memmodel.Model, x *exec.Execution) [][]int {
 	if !m.Vocab().UsesSC {
 		return [][]int{x.SC}
 	}
-	var fences []int
-	for _, e := range x.Test.Events {
-		if e.Kind == litmus.KFence && e.Fence == litmus.FSC {
-			fences = append(fences, e.ID)
-		}
-	}
+	fences := scFences(x.Test)
 	if len(fences) < 2 {
 		return [][]int{x.SC}
 	}
-	var perms [][]int
-	var rec func(k int)
-	rec = func(k int) {
-		if k == len(fences) {
-			perms = append(perms, append([]int(nil), fences...))
-			return
-		}
-		for i := k; i < len(fences); i++ {
-			fences[k], fences[i] = fences[i], fences[k]
-			rec(k + 1)
-			fences[k], fences[i] = fences[i], fences[k]
+	return permutations(fences)
+}
+
+// Checker amortizes the static work of the minimality criterion across the
+// executions of one program. Bind computes the relaxation applications,
+// the sc-order permutations, and lazily one static evaluation context per
+// perturbation; Check then rebuilds only the dynamic relations (rf, co,
+// fr) per execution into the pooled views.
+//
+// A Checker is not safe for concurrent use; the synthesis engine gives
+// each worker its own.
+type Checker struct {
+	m      memmodel.Model
+	axioms []memmodel.Axiom
+	usesSC bool
+
+	t    *litmus.Test
+	apps []exec.Perturb
+	// order is the fail-fast try order over apps: when a relaxation keeps
+	// the outcome forbidden (short-circuiting the observability sweep) it
+	// moves to the front, so the executions that follow test the most
+	// discriminating relaxation first. The order resets at Bind, keeping
+	// per-program verdict streams independent of which worker processed
+	// which earlier program (suites stay identical for any worker count).
+	order    []int
+	scPerms  [][]int    // precomputed permutations (UsesSC models, ≥2 fences)
+	oneOrder [1][]int   // scratch for the single-order case
+	base     *exec.View // pooled NoPerturb view
+	perApp   []*exec.View
+	violated []bool // scratch for the per-axiom forbidden sweep
+}
+
+// NewChecker returns a Checker for model m; Bind points it at a program.
+func NewChecker(m memmodel.Model) *Checker {
+	return &Checker{m: m, axioms: m.Axioms(), usesSC: m.Vocab().UsesSC}
+}
+
+// Bind points the checker at test t, computing the relaxation applications
+// of m to t and resetting all per-program state.
+func (c *Checker) Bind(t *litmus.Test) {
+	c.bind(t, memmodel.Applications(c.m, t))
+}
+
+// Apps returns the relaxation applications of the bound test.
+func (c *Checker) Apps() []exec.Perturb { return c.apps }
+
+func (c *Checker) bind(t *litmus.Test, apps []exec.Perturb) {
+	c.t = t
+	c.apps = apps
+	c.order = c.order[:0]
+	for i := range apps {
+		c.order = append(c.order, i)
+	}
+	c.scPerms = nil
+	if c.usesSC {
+		if fences := scFences(t); len(fences) >= 2 {
+			c.scPerms = permutations(fences)
 		}
 	}
-	rec(0)
-	return perms
+	c.base = exec.NewStaticCtx(t, exec.NoPerturb).NewView()
+	c.perApp = c.perApp[:0]
+	for range apps {
+		c.perApp = append(c.perApp, nil)
+	}
+}
+
+// ordersFor returns the sc orders to quantify over for execution x,
+// mirroring scOrders but with the permutations hoisted to Bind.
+func (c *Checker) ordersFor(x *exec.Execution) [][]int {
+	if c.scPerms != nil {
+		return c.scPerms
+	}
+	c.oneOrder[0] = x.SC
+	return c.oneOrder[:]
+}
+
+// appView returns the pooled view for relaxation application i, building
+// its static context on first use. Construction is lazy because the
+// observability sweep only runs for executions that violate some axiom —
+// a small minority — and even then usually short-circuits.
+func (c *Checker) appView(i int) *exec.View {
+	if c.perApp[i] == nil {
+		c.perApp[i] = exec.NewStaticCtx(c.t, c.apps[i]).NewView()
+	}
+	return c.perApp[i]
+}
+
+// Check evaluates the minimality criterion for execution x of the bound
+// test. x.SC is treated as existentially quantified for models that use an
+// sc order; x is restored before Check returns.
+func (c *Checker) Check(x *exec.Execution) Verdict {
+	var verdict Verdict
+	orders := c.ordersFor(x)
+	savedSC := x.SC
+	defer func() { x.SC = savedSC }()
+
+	// Forbidden: violated under every sc order. Stop sweeping orders once
+	// every axiom has been observed to hold under some order.
+	if cap(c.violated) < len(c.axioms) {
+		c.violated = make([]bool, len(c.axioms))
+	}
+	violated := c.violated[:len(c.axioms)]
+	remaining := len(c.axioms)
+	for i := range violated {
+		violated[i] = true
+	}
+	for _, sc := range orders {
+		x.SC = sc
+		c.base.Reset(x)
+		for i, a := range c.axioms {
+			if violated[i] && a.Holds(c.base) {
+				violated[i] = false
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			return verdict
+		}
+	}
+	for i, bad := range violated {
+		if bad {
+			verdict.ViolatedAxioms = append(verdict.ViolatedAxioms, i)
+		}
+	}
+
+	// Observable under relaxation: the whole perturbed model holds for
+	// some sc order. This requirement does not depend on which axiom is
+	// targeted (paper Fig. 5c), so one sweep answers the criterion for
+	// every violated axiom at once. Applications are tried in fail-fast
+	// order; a failing application short-circuits and moves to the front.
+	for pos := 0; pos < len(c.order); pos++ {
+		ai := c.order[pos]
+		pv := c.appView(ai)
+		observable := false
+		for _, sc := range orders {
+			x.SC = sc
+			pv.Reset(x)
+			if c.valid(pv) {
+				observable = true
+				break
+			}
+		}
+		if !observable {
+			verdict.FailingRelaxation = c.apps[ai]
+			copy(c.order[1:pos+1], c.order[:pos])
+			c.order[0] = ai
+			return verdict
+		}
+	}
+	verdict.AllRelaxationsObservable = true
+	return verdict
+}
+
+// valid reports whether v satisfies every axiom (memmodel.Valid over the
+// cached axiom slice).
+func (c *Checker) valid(v *exec.View) bool {
+	for _, a := range c.axioms {
+		if !a.Holds(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // Check evaluates the minimality criterion for execution x against model m.
@@ -90,60 +272,12 @@ func scOrders(m memmodel.Model, x *exec.Execution) [][]int {
 // memmodel.Applications); passing them in lets callers amortize the
 // computation across the executions of one test. x.SC is treated as
 // existentially quantified for models that use an sc order; x is restored
-// before Check returns.
+// before Check returns. Callers checking many executions of many programs
+// should hold a Checker instead, which amortizes the evaluation contexts.
 func Check(m memmodel.Model, apps []exec.Perturb, x *exec.Execution) Verdict {
-	var verdict Verdict
-	axioms := m.Axioms()
-	orders := scOrders(m, x)
-	savedSC := x.SC
-	defer func() { x.SC = savedSC }()
-
-	// Forbidden: violated under every sc order.
-	violatedAll := make([]bool, len(axioms))
-	for i := range violatedAll {
-		violatedAll[i] = true
-	}
-	anyViolated := false
-	for _, sc := range orders {
-		x.SC = sc
-		v := exec.NewView(x, exec.NoPerturb)
-		for i, a := range axioms {
-			if violatedAll[i] && a.Holds(v) {
-				violatedAll[i] = false
-			}
-		}
-	}
-	for i, bad := range violatedAll {
-		if bad {
-			verdict.ViolatedAxioms = append(verdict.ViolatedAxioms, i)
-			anyViolated = true
-		}
-	}
-	if !anyViolated {
-		return verdict
-	}
-
-	// Observable under relaxation: the whole perturbed model holds for
-	// some sc order. This requirement does not depend on which axiom is
-	// targeted (paper Fig. 5c), so one sweep answers the criterion for
-	// every violated axiom at once.
-	for _, app := range apps {
-		observable := false
-		for _, sc := range orders {
-			x.SC = sc
-			pv := exec.NewView(x, app)
-			if memmodel.Valid(m, pv) {
-				observable = true
-				break
-			}
-		}
-		if !observable {
-			verdict.FailingRelaxation = app
-			return verdict
-		}
-	}
-	verdict.AllRelaxationsObservable = true
-	return verdict
+	c := NewChecker(m)
+	c.bind(x.Test, apps)
+	return c.Check(x)
 }
 
 // IsMinimal reports whether execution x of its test is a minimal violation

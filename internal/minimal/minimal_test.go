@@ -1,6 +1,7 @@
 package minimal
 
 import (
+	"fmt"
 	"testing"
 
 	"memsynth/internal/exec"
@@ -296,6 +297,134 @@ func TestIsMinimalUnknownAxiom(t *testing.T) {
 	x := mustFind(t, mp, func(*exec.Execution) bool { return true })
 	if _, err := IsMinimal(tso, "nope", x); err == nil {
 		t.Error("expected error for unknown axiom")
+	}
+}
+
+// TestSCOrdersPermutationCounts: with k >= 2 FSC fences, scOrders must
+// quantify over all k! total orders, each a distinct permutation of the
+// fence event IDs.
+func TestSCOrdersPermutationCounts(t *testing.T) {
+	scc := memmodel.SCC()
+	cases := []struct {
+		name    string
+		threads [][]Op
+		fences  int
+		want    int
+	}{
+		{"two", [][]Op{{W(0), F(FSC)}, {F(FSC), R(0)}}, 2, 2},
+		{"three", [][]Op{{W(0), F(FSC)}, {F(FSC), R(0)}, {F(FSC), R(1)}}, 3, 6},
+		{"four", [][]Op{{F(FSC), F(FSC)}, {F(FSC), F(FSC)}}, 4, 24},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lt := New("perm-"+tc.name, tc.threads)
+			fences := scFences(lt)
+			if len(fences) != tc.fences {
+				t.Fatalf("scFences = %v, want %d fences", fences, tc.fences)
+			}
+			x := mustFind(t, lt, func(*exec.Execution) bool { return true })
+			orders := scOrders(scc, x)
+			if len(orders) != tc.want {
+				t.Fatalf("scOrders returned %d orders, want %d", len(orders), tc.want)
+			}
+			seen := make(map[string]bool)
+			for _, ord := range orders {
+				if len(ord) != tc.fences {
+					t.Fatalf("order %v has %d elements, want %d", ord, len(ord), tc.fences)
+				}
+				members := make(map[int]bool)
+				for _, id := range ord {
+					members[id] = true
+				}
+				for _, f := range fences {
+					if !members[f] {
+						t.Fatalf("order %v is missing fence %d", ord, f)
+					}
+				}
+				key := fmt.Sprint(ord)
+				if seen[key] {
+					t.Fatalf("duplicate order %v", ord)
+				}
+				seen[key] = true
+			}
+		})
+	}
+}
+
+// TestSCOrdersDegenerate: with fewer than two FSC fences there is nothing
+// to quantify over — scOrders must return exactly the execution's own
+// (possibly nil) order, for sc-using and plain models alike.
+func TestSCOrdersDegenerate(t *testing.T) {
+	scc := memmodel.SCC()
+	for _, tc := range []struct {
+		name    string
+		threads [][]Op
+	}{
+		{"no-fences", [][]Op{{W(0)}, {R(0)}}},
+		{"one-fence", [][]Op{{W(0), F(FSC)}, {R(0)}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lt := New(tc.name, tc.threads)
+			x := mustFind(t, lt, func(*exec.Execution) bool { return true })
+			x.SC = nil
+			orders := scOrders(scc, x)
+			if len(orders) != 1 || orders[0] != nil {
+				t.Errorf("scOrders = %v, want the execution's own nil order", orders)
+			}
+		})
+	}
+
+	// A model without an sc order never quantifies, fences or not.
+	tso := memmodel.TSO()
+	lt := New("tso-mfences", [][]Op{{W(0), F(FMFence)}, {R(0), F(FMFence)}})
+	x := mustFind(t, lt, func(*exec.Execution) bool { return true })
+	if orders := scOrders(tso, x); len(orders) != 1 {
+		t.Errorf("non-sc model: %d orders, want 1", len(orders))
+	}
+}
+
+// TestSCOrderQuantificationPinned pins the generalization of the paper's
+// Fig. 19 workaround: the sc order is auxiliary, so a single sc choice
+// must not decide forbiddenness. In W x || FSC;R x=0 with a writer-side
+// FSC, the order (f0 before f1) produces a causality cycle through
+// fr(read -> write) while the reversed order does not — so the outcome is
+// not forbidden, and Check must report no violated axioms regardless of
+// which order the execution happens to carry.
+func TestSCOrderQuantificationPinned(t *testing.T) {
+	scc := memmodel.SCC()
+	lt := New("SB-half", [][]Op{
+		{W(0), F(FSC)}, // events 0:W 1:FSC
+		{F(FSC), R(0)}, // events 2:FSC 3:R
+	})
+	x := mustFind(t, lt, func(x *exec.Execution) bool {
+		return x.ReadValue(3) == 0 // reads the initial value: fr(3 -> 0)
+	})
+
+	causality, err := memmodel.AxiomByName(scc, "causality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdsUnder := func(sc []int) bool {
+		saved := x.SC
+		defer func() { x.SC = saved }()
+		x.SC = sc
+		return causality.Holds(exec.NewView(x, exec.NoPerturb))
+	}
+	if holdsUnder([]int{1, 2}) {
+		t.Fatal("causality holds under sc=(f0,f1); the pinned scenario needs a violating order")
+	}
+	if !holdsUnder([]int{2, 1}) {
+		t.Fatal("causality violated under sc=(f1,f0); the pinned scenario needs a passing order")
+	}
+
+	// Whatever single order the enumerated execution carries, the verdict
+	// must agree: not forbidden, because some order satisfies causality.
+	for _, sc := range [][]int{{1, 2}, {2, 1}} {
+		x.SC = sc
+		verdict := Check(scc, memmodel.Applications(scc, lt), x)
+		if len(verdict.ViolatedAxioms) != 0 {
+			t.Errorf("sc=%v: ViolatedAxioms = %v, want none (order is auxiliary)", sc, verdict.ViolatedAxioms)
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the CLI binaries so synthesis hot paths can be inspected with
+// `go tool pprof` without rebuilding. Profiles are written when the
+// command completes normally; error paths that os.Exit early lose them
+// (an aborted run's profile is rarely the one of interest).
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	cpu *string
+	mem *string
+	f   *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs (typically
+// flag.CommandLine, before flag.Parse).
+func AddFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call after
+// flag.Parse.
+func (p *Flags) Start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.f = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if requested.
+// Safe to call when neither flag was given.
+func (p *Flags) Stop() {
+	if p.f != nil {
+		pprof.StopCPUProfile()
+		p.f.Close()
+		p.f = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+}

@@ -202,6 +202,108 @@ func (r Rel) Join(s Rel) Rel {
 	return out
 }
 
+// In-place variants. The allocating operators above return a fresh Rel
+// per call, which is the right shape for model definitions but allocates
+// in the synthesis engine's explore hot path, where the same handful of
+// derived relations is recomputed for every (execution, sc-order,
+// relaxation) triple. These variants write into an existing Rel instead,
+// letting callers reuse pooled scratch buffers.
+
+// Clear removes every pair, keeping the universe.
+func (r Rel) Clear() {
+	for i := range r.rows {
+		r.rows[i] = 0
+	}
+}
+
+// CopyFrom overwrites r with the pairs of s.
+func (r Rel) CopyFrom(s Rel) {
+	r.mustMatch(s, "copy")
+	copy(r.rows, s.rows)
+}
+
+// UnionWith adds every pair of s to r in place (r ∪= s).
+func (r Rel) UnionWith(s Rel) {
+	r.mustMatch(s, "union")
+	for i := range r.rows {
+		r.rows[i] |= s.rows[i]
+	}
+}
+
+// IntersectWith removes from r every pair not in s (r ∩= s).
+func (r Rel) IntersectWith(s Rel) {
+	r.mustMatch(s, "intersect")
+	for i := range r.rows {
+		r.rows[i] &= s.rows[i]
+	}
+}
+
+// MinusWith removes every pair of s from r (r \= s).
+func (r Rel) MinusWith(s Rel) {
+	r.mustMatch(s, "minus")
+	for i := range r.rows {
+		r.rows[i] &^= s.rows[i]
+	}
+}
+
+// JoinInto computes r;s into dst. dst may alias r but must not alias s.
+func (r Rel) JoinInto(s, dst Rel) {
+	r.mustMatch(s, "join")
+	r.mustMatch(dst, "join")
+	for i, row := range r.rows {
+		var acc uint64
+		for row != 0 {
+			j := bits.TrailingZeros64(row)
+			acc |= s.rows[j]
+			row &= row - 1
+		}
+		dst.rows[i] = acc
+	}
+}
+
+// CloseIn replaces r with its transitive closure in place.
+func (r Rel) CloseIn() {
+	for k := 0; k < r.n; k++ {
+		kbit := uint64(1) << uint(k)
+		for i := range r.rows {
+			if r.rows[i]&kbit != 0 {
+				r.rows[i] |= r.rows[k]
+			}
+		}
+	}
+}
+
+// ReflexiveCloseIn replaces r with iden ∪ ^r in place.
+func (r Rel) ReflexiveCloseIn() {
+	r.CloseIn()
+	for i := 0; i < r.n; i++ {
+		r.rows[i] |= 1 << uint(i)
+	}
+}
+
+// RestrictIn removes in place every pair whose source is outside dom or
+// whose target is outside rng.
+func (r Rel) RestrictIn(dom, rng Set) {
+	r.mustMatchSet(dom, "restrict")
+	r.mustMatchSet(rng, "restrict")
+	for i := range r.rows {
+		if !dom.Has(i) {
+			r.rows[i] = 0
+		} else {
+			r.rows[i] &= uint64(rng)
+		}
+	}
+}
+
+// UnionRow adds an edge from i to every atom of s in place.
+func (r Rel) UnionRow(i int, s Set) {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("relation: atom %d out of universe [0,%d)", i, r.n))
+	}
+	r.mustMatchSet(s, "row union")
+	r.rows[i] |= uint64(s)
+}
+
 // Transpose returns the inverse relation ~r.
 func (r Rel) Transpose() Rel {
 	out := New(r.n)
@@ -216,17 +318,10 @@ func (r Rel) Transpose() Rel {
 }
 
 // Closure returns the transitive closure ^r (one or more steps).
+// Warshall over bit rows: if (i,k) then fold in row k.
 func (r Rel) Closure() Rel {
 	out := r.Clone()
-	// Warshall over bit rows: if (i,k) then fold in row k.
-	for k := 0; k < out.n; k++ {
-		kbit := uint64(1) << uint(k)
-		for i := range out.rows {
-			if out.rows[i]&kbit != 0 {
-				out.rows[i] |= out.rows[k]
-			}
-		}
-	}
+	out.CloseIn()
 	return out
 }
 
@@ -296,18 +391,21 @@ func (r Rel) Irreflexive() bool {
 // cycle (equivalently, its transitive closure is irreflexive).
 func (r Rel) Acyclic() bool {
 	// Iterative DFS with colors; avoids the O(n^3) closure when a cycle
-	// exists early.
+	// exists early. Fixed-size backing arrays keep the check off the heap
+	// (it is the single most-called predicate in axiom evaluation).
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make([]uint8, r.n)
+	var colorArr [MaxUniverse]uint8
+	color := colorArr[:r.n]
 	type frame struct {
 		node int
 		rest uint64
 	}
-	stack := make([]frame, 0, r.n)
+	var stackArr [MaxUniverse]frame
+	stack := stackArr[:0]
 	for start := 0; start < r.n; start++ {
 		if color[start] != white {
 			continue

@@ -205,6 +205,83 @@ func randomRel(rng *rand.Rand, n int, p float64) Rel {
 	return r
 }
 
+// TestQuickInPlaceMatchesAllocating: every in-place variant must agree
+// with its allocating counterpart on random relations.
+func TestQuickInPlaceMatchesAllocating(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomRel(rng, 10, 0.3)
+		b := randomRel(rng, 10, 0.3)
+		dst := New(10)
+
+		dst.CopyFrom(a)
+		dst.UnionWith(b)
+		if !dst.Equal(a.Union(b)) {
+			return false
+		}
+		dst.CopyFrom(a)
+		dst.IntersectWith(b)
+		if !dst.Equal(a.Intersect(b)) {
+			return false
+		}
+		dst.CopyFrom(a)
+		dst.MinusWith(b)
+		if !dst.Equal(a.Minus(b)) {
+			return false
+		}
+		a.JoinInto(b, dst)
+		if !dst.Equal(a.Join(b)) {
+			return false
+		}
+		// dst may alias the receiver.
+		dst.CopyFrom(a)
+		dst.JoinInto(b, dst)
+		if !dst.Equal(a.Join(b)) {
+			return false
+		}
+		dst.CopyFrom(a)
+		dst.CloseIn()
+		if !dst.Equal(a.Closure()) {
+			return false
+		}
+		dst.CopyFrom(a)
+		dst.ReflexiveCloseIn()
+		if !dst.Equal(a.ReflexiveClosure()) {
+			return false
+		}
+		dom := Set(rng.Uint64()).Intersect(UniverseSet(10))
+		rng2 := Set(rng.Uint64()).Intersect(UniverseSet(10))
+		dst.CopyFrom(a)
+		dst.RestrictIn(dom, rng2)
+		if !dst.Equal(a.Restrict(dom, rng2)) {
+			return false
+		}
+		dst.Clear()
+		return dst.IsEmpty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionRow(t *testing.T) {
+	r := New(5)
+	r.Add(0, 1)
+	var s Set
+	s = s.Add(2).Add(4)
+	r.UnionRow(0, s)
+	r.UnionRow(3, s)
+	want := New(5)
+	want.Add(0, 1)
+	want.Add(0, 2)
+	want.Add(0, 4)
+	want.Add(3, 2)
+	want.Add(3, 4)
+	if !r.Equal(want) {
+		t.Errorf("UnionRow result %v, want %v", r, want)
+	}
+}
+
 func TestQuickClosureIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	f := func(seed int64) bool {

@@ -103,6 +103,11 @@ func TestParallelByteIdenticalSuites(t *testing.T) {
 				seq.Stats.ForbiddenOutcomes != par.Stats.ForbiddenOutcomes {
 				t.Errorf("stats differ: seq=%+v par=%+v", seq.Stats, par.Stats)
 			}
+			for name, res := range map[string]*Result{"seq": seq, "par": par} {
+				if res.Stats.Entries != len(res.Union.Entries) {
+					t.Errorf("%s: Stats.Entries = %d, union has %d", name, res.Stats.Entries, len(res.Union.Entries))
+				}
+			}
 		})
 	}
 }
@@ -215,6 +220,9 @@ func TestProgressEvents(t *testing.T) {
 	}
 	if last.Entries != len(res.Union.Entries) {
 		t.Errorf("done event entries = %d, union = %d", last.Entries, len(res.Union.Entries))
+	}
+	if res.Stats.Entries != len(res.Union.Entries) {
+		t.Errorf("Stats.Entries = %d, union = %d", res.Stats.Entries, len(res.Union.Entries))
 	}
 	// Counters are monotone.
 	for i := 1; i < len(events); i++ {

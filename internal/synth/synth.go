@@ -124,6 +124,9 @@ type Stats struct {
 	// ForbiddenOutcomes counts distinct canonical forbidden
 	// (program, outcome) pairs (only when Options.CountForbidden).
 	ForbiddenOutcomes int
+	// Entries counts distinct minimal entries found across all axioms —
+	// always equal to len(Union.Entries) on an uninterrupted run.
+	Entries int
 	// Elapsed is the wall-clock synthesis time.
 	Elapsed time.Duration
 	// Stages is the per-stage timing breakdown.
@@ -292,6 +295,7 @@ func (e *engine) run(ctx context.Context) *Result {
 	e.res.Stats.ProgramsRaw = int(e.programsRaw.Load())
 	e.res.Stats.Programs = int(e.programs.Load())
 	e.res.Stats.Executions = int(e.executions.Load())
+	e.res.Stats.Entries = int(e.entries.Load())
 	e.res.Stats.Stages = StageTimes{
 		Generation: time.Duration(e.genNS.Load()),
 		Dedupe:     time.Duration(e.dedupeNS.Load()),
@@ -365,7 +369,9 @@ func (e *engine) generateAndDedupe(n int) []progClaim {
 
 // explore fans the per-program execution exploration out over the workers
 // (work-stealing by index) and returns per-program findings aligned with
-// the winners slice.
+// the winners slice. Each worker holds one minimal.Checker, so the static
+// evaluation contexts and scratch buffers are pooled per worker and
+// amortized across every execution of every program the worker claims.
 func (e *engine) explore(winners []progClaim) [][]foundEntry {
 	results := make([][]foundEntry, len(winners))
 	var next atomic.Int64
@@ -374,12 +380,13 @@ func (e *engine) explore(winners []progClaim) [][]foundEntry {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			checker := minimal.NewChecker(e.model)
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= len(winners) || e.stopped.Load() {
 					return
 				}
-				results[i] = e.processProgram(winners[i].test)
+				results[i] = e.processProgram(checker, winners[i].test)
 			}
 		}()
 	}
@@ -401,16 +408,16 @@ func (e *engine) merge(results [][]foundEntry) {
 }
 
 // processProgram explores all executions of t and applies the minimality
-// criterion; it is safe to call from multiple goroutines. On cancellation
-// mid-program the partial findings are discarded (counters keep what was
-// actually checked).
-func (e *engine) processProgram(t *litmus.Test) []foundEntry {
-	apps := memmodel.Applications(e.model, t)
+// criterion through the caller's pooled checker; each goroutine must pass
+// its own. On cancellation mid-program the partial findings are discarded
+// (counters keep what was actually checked).
+func (e *engine) processProgram(c *minimal.Checker, t *litmus.Test) []foundEntry {
+	c.Bind(t)
 	var found []foundEntry
 	var execs, minNS, dedupeNS int64
 	completed := true
 	t0 := time.Now()
-	// sc orders are quantified inside minimal.Check (they are auxiliary,
+	// sc orders are quantified inside the checker (they are auxiliary,
 	// not part of the outcome), so enumeration here covers rf and co only.
 	exec.Enumerate(t, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
 		if execs&0xFF == 0xFF && e.stopped.Load() {
@@ -419,7 +426,7 @@ func (e *engine) processProgram(t *litmus.Test) []foundEntry {
 		}
 		execs++
 		m0 := time.Now()
-		verdict := minimal.Check(e.model, apps, x)
+		verdict := c.Check(x)
 		minNS += int64(time.Since(m0))
 		if len(verdict.ViolatedAxioms) == 0 {
 			return true
