@@ -4,9 +4,17 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-paper fuzz serve
+.PHONY: check build test vet race lint bench bench-paper fuzz serve
 
-check: vet build race
+check: vet build race lint
+
+# Static analysis of the shipped model definitions: the examples must be
+# finding-free (-strict fails on warnings too); the builtin sweep is
+# advisory — bound-4 redundancy verdicts on power/armv7 are expected
+# (DESIGN.md §11) and only error-severity findings fail it.
+lint:
+	$(GO) run ./cmd/catlint -strict examples/cat/*.cat
+	$(GO) run ./cmd/catlint -builtins
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +48,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzParseLitmus -fuzztime=$(FUZZTIME) ./internal/litmus
 	$(GO) test -fuzz=FuzzParseCat -fuzztime=$(FUZZTIME) ./internal/cat
+	$(GO) test -fuzz=FuzzLint -fuzztime=$(FUZZTIME) ./internal/catlint
 
 # Run the synthesis daemon locally (Ctrl-C drains in-flight jobs).
 serve:

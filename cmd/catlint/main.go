@@ -1,0 +1,123 @@
+// Command catlint statically analyzes cat model definitions (DESIGN.md
+// §11) before they are allowed near a synthesis run.
+//
+// Usage:
+//
+//	catlint model.cat...              # lint definitions (tier 1 + tier 2)
+//	catlint -json model.cat           # machine-readable report
+//	catlint -no-tier2 model.cat      # structural checks only
+//	catlint -bound 3 model.cat       # shrink the tier-2 program bound
+//	catlint -strict model.cat        # warnings also fail the run
+//	catlint -diff a.cat b.cat        # search for a distinguishing test
+//	catlint -builtins                # tier-2 check every built-in model
+//
+// Exit status: 0 when clean (warnings allowed unless -strict), 1 when any
+// error-severity finding was reported (or, with -strict, any finding at
+// all), 2 on usage or I/O errors. In -diff mode: 0 when the definitions
+// are equivalent up to the bound, 1 when a distinguishing test was found
+// (and printed), 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memsynth/internal/catlint"
+	"memsynth/internal/memmodel"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit reports as JSON")
+		bound    = flag.Int("bound", 4, "tier-2 maximum program size in events")
+		noTier2  = flag.Bool("no-tier2", false, "skip the semantic tier (vacuity/redundancy)")
+		strict   = flag.Bool("strict", false, "treat warnings as failures")
+		diff     = flag.Bool("diff", false, "compare two definitions: search for a distinguishing litmus test")
+		builtins = flag.Bool("builtins", false, "run the semantic tier over every built-in model")
+	)
+	flag.Parse()
+	opts := catlint.Options{Bound: *bound, DisableTier2: *noTier2}
+
+	if *diff {
+		os.Exit(runDiff(flag.Args(), opts))
+	}
+	if *builtins {
+		os.Exit(runBuiltins(opts, *jsonOut, *strict))
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: catlint [-json] [-bound N] [-no-tier2] [-strict] file.cat...")
+		fmt.Fprintln(os.Stderr, "       catlint -diff a.cat b.cat")
+		fmt.Fprintln(os.Stderr, "       catlint -builtins")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		report := catlint.Lint(string(src), opts)
+		if *jsonOut {
+			fmt.Println(report.JSON())
+		} else {
+			fmt.Print(report.Format(path))
+		}
+		if report.HasErrors() || (*strict && len(report.Findings) > 0) {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func runDiff(args []string, opts catlint.Options) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: catlint -diff a.cat b.cat")
+		return 2
+	}
+	srcs := make([]string, 2)
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		srcs[i] = string(data)
+	}
+	res, err := catlint.Diff(srcs[0], srcs[1], opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if res == nil {
+		fmt.Printf("%s and %s are equivalent up to bound %d\n", args[0], args[1], boundOf(opts))
+		return 0
+	}
+	fmt.Print(res.String())
+	return 1
+}
+
+func runBuiltins(opts catlint.Options, jsonOut, strict bool) int {
+	exit := 0
+	for _, m := range memmodel.All() {
+		report := catlint.LintModel(m, opts)
+		if jsonOut {
+			fmt.Println(report.JSON())
+		} else {
+			fmt.Print(report.Format(m.Name()))
+		}
+		if report.HasErrors() || (strict && len(report.Findings) > 0) {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func boundOf(opts catlint.Options) int {
+	if opts.Bound == 0 {
+		return 4
+	}
+	return opts.Bound
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"memsynth"
+	"memsynth/internal/catlint"
 	"memsynth/internal/profiling"
 	"memsynth/internal/store"
 )
@@ -38,6 +39,7 @@ var (
 	timeout   = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
 	storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
 	modelFile = flag.String("model-file", "", "compile and register a cat-style model definition; run it with -exp custom")
+	nolint    = flag.Bool("nolint", false, "skip the static analysis of -model-file definitions")
 )
 
 // customModel is the name of the -model-file model, once registered.
@@ -151,6 +153,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *modelFile, err)
 			os.Exit(1)
+		}
+		if !*nolint {
+			report := catlint.Lint(string(src), catlint.Options{})
+			for _, f := range report.Findings {
+				fmt.Fprintf(os.Stderr, "%s:%s\n", *modelFile, f)
+			}
+			if report.HasErrors() {
+				os.Exit(1)
+			}
 		}
 		if err := memsynth.RegisterModel(m); err != nil {
 			fmt.Fprintln(os.Stderr, err)

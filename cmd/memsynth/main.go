@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"memsynth"
+	"memsynth/internal/catlint"
 	"memsynth/internal/profiling"
 	"memsynth/internal/store"
 )
@@ -41,6 +42,7 @@ func main() {
 	var (
 		modelName = flag.String("model", "tso", "memory model (sc, tso, power, armv7, armv8, scc, c11, hsa)")
 		modelFile = flag.String("model-file", "", "compile and use a cat-style model definition file instead of -model")
+		nolint    = flag.Bool("nolint", false, "skip the static analysis of -model-file definitions")
 		bound     = flag.Int("bound", 4, "maximum instruction count")
 		axiom     = flag.String("axiom", "union", "axiom suite to print, or 'union'")
 		format    = flag.String("format", "pretty", "output format: pretty, litmus, asm, or dot")
@@ -73,6 +75,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *modelFile, err)
 			os.Exit(1)
+		}
+		if !*nolint {
+			report := catlint.Lint(string(src), catlint.Options{})
+			for _, f := range report.Findings {
+				fmt.Fprintf(os.Stderr, "%s:%s\n", *modelFile, f)
+			}
+			if report.HasErrors() {
+				os.Exit(1)
+			}
 		}
 	} else {
 		model, err = memsynth.ModelByName(*modelName)

@@ -19,6 +19,7 @@
 //	GET    /v1/suites/{digest}/detect  x86-TSO fault-detection matrix
 //	GET    /v1/models                  visible models (built-in + registered)
 //	POST   /v1/models                  register a cat model definition
+//	POST   /v1/models/lint             dry-run lint of a definition
 //	GET    /healthz, /metrics          probes
 //
 // -models preloads every *.cat definition in a directory at startup, as if
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"memsynth/internal/cat"
+	"memsynth/internal/catlint"
 	"memsynth/internal/memmodel"
 	"memsynth/internal/server"
 	"memsynth/internal/store"
@@ -103,6 +105,9 @@ func main() {
 				os.Exit(1)
 			}
 			log.Printf("memsynthd: registered model %q from %s (digest %.12s)", m.Name(), path, m.SourceDigest())
+			for _, f := range catlint.Lint(string(src), catlint.Options{}).Findings {
+				log.Printf("memsynthd: lint %s:%s", path, f)
+			}
 		}
 	}
 	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs, Models: registry})

@@ -63,8 +63,10 @@ func TestCompileErrors(t *testing.T) {
 		{"self ref", "model m\nlet a = a | po\nacyclic a as x\nops R\n", "2:9", `undefined name "a"`},
 		{"shadow builtin", "model m\nlet po = rf\nacyclic po as x\nops R\n", "2:5", "shadows a builtin"},
 		{"duplicate let", "model m\nlet a = po\nlet a = rf\nacyclic a as x\nops R\n", "3:5", "duplicate definition"},
+		{"duplicate let deep", "model m\nlet a = po\nlet b = rf\nlet b = co\nacyclic a | b as x\nops R\n", "4:5", "duplicate definition"},
 		{"no axioms", "model m\nops R\n", "1:7", "declares no axioms"},
 		{"duplicate axiom", "model m\nacyclic po as a\nacyclic rf as a\nops R\n", "3:1", "duplicate axiom"},
+		{"duplicate axiom deep", "model m\nacyclic po as a\nacyclic rf as b\nacyclic co as b\nops R\n", "4:1", "duplicate axiom"},
 		{"union axiom", "model m\nacyclic po as union\nops R\n", "2:1", "reserved"},
 		{"set axiom", "model m\nacyclic R | W as a\nops R\n", "2:11", "needs a relation"},
 		{"join sets", "model m\nacyclic R ; W as a\nops R\n", "2:11", "joins relations"},

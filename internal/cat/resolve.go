@@ -275,6 +275,14 @@ func (ev *env) force(p *program, idx int) {
 	}
 }
 
+// Builtin reports whether name is a predefined relation or event-set name
+// of the definition language (analysis tools use this to distinguish
+// shadowing from ordinary duplicate bindings).
+func Builtin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}
+
 // builtins maps the base relations and event sets onto exec.View.
 var builtins = map[string]value{
 	// Event sets.

@@ -1,0 +1,50 @@
+package catlint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkCatLint is the perf guard for the full analysis (tier 1 plus
+// tier 2 at bound 3) over the TSO example definition. Tier 2 must reuse
+// pooled exec contexts (one StaticCtx and View per program, Reset per
+// execution); a per-execution allocation regression shows up here
+// immediately. Log-only in CI, like the synthesis benchmarks.
+func BenchmarkCatLint(b *testing.B) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "cat", "tso.cat"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Bound: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report := Lint(string(src), opts)
+		if report.HasErrors() {
+			b.Fatalf("unexpected errors: %v", report.Findings)
+		}
+	}
+}
+
+// BenchmarkDiff measures the equivalence harness on the SC/TSO pair at
+// bound 3 (the largest bound at which they agree, so the full program
+// space is enumerated).
+func BenchmarkDiff(b *testing.B) {
+	srcSC, err := os.ReadFile(filepath.Join("..", "..", "examples", "cat", "sc.cat"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcTSO, err := os.ReadFile(filepath.Join("..", "..", "examples", "cat", "tso.cat"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Diff(string(srcSC), string(srcTSO), Options{Bound: 3})
+		if err != nil || res != nil {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}

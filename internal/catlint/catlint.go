@@ -1,0 +1,278 @@
+// Package catlint statically analyzes cat model definitions
+// (internal/cat) and reports positioned, severity-tagged findings before a
+// definition is allowed to burn a synthesis run.
+//
+// The analysis has two tiers:
+//
+//   - Tier 1 is structural: it walks the parsed AST for dead or duplicate
+//     `let` bindings, duplicate axiom names, self-cancelling expressions
+//     (r \ r, r & r, (r+)+), vocabulary ops with no reachable relaxation
+//     (memory orders with no demote ladder, RMW templates without DRMW,
+//     deps without RD), and malformed demotion ladders (the DMO/DF/DS
+//     one-step graphs must be acyclic, hence terminating).
+//
+//   - Tier 2 is semantic: it exhaustively evaluates the compiled axioms
+//     over every candidate execution of every program the synthesis
+//     generator produces up to a small bound (default 4 events), flagging
+//     axioms that are vacuous (never reject any execution) or redundant
+//     (implied by the conjunction of the other axioms). Both verdicts are
+//     relative to the bound: "clean" means "clean up to bound N", not
+//     "clean" (DESIGN.md §11).
+//
+// DiffModels turns the same machinery into an equivalence check: it
+// searches the shared program space of two models for a litmus test one
+// model allows and the other forbids.
+package catlint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"memsynth/internal/cat"
+	"memsynth/internal/memmodel"
+)
+
+// Severity grades a finding.
+type Severity string
+
+const (
+	// SevError marks definitions that are broken or certainly wrong: they
+	// fail to compile, or would make synthesis misbehave (e.g. a cyclic
+	// demotion ladder). Model registration rejects these.
+	SevError Severity = "error"
+	// SevWarning marks definitions that compile but look unintended: dead
+	// bindings, vacuous axioms, unrelaxable vocabulary.
+	SevWarning Severity = "warning"
+)
+
+// Finding codes, the stable vocabulary of the analysis (DESIGN.md §11).
+const (
+	CodeParseError     = "parse-error"     // error: the definition does not parse
+	CodeCompileError   = "compile-error"   // error: resolve/compile rejected the definition
+	CodeDuplicateLet   = "duplicate-let"   // error: a let name is bound twice
+	CodeShadowsBuiltin = "shadows-builtin" // error: a let shadows a builtin relation
+	CodeDuplicateAxiom = "duplicate-axiom" // error: an axiom name is declared twice
+	CodeCyclicDemote   = "cyclic-demote"   // error: a demotion ladder does not terminate
+	CodeUnusedLet      = "unused-let"      // warning: a let binding no axiom depends on
+	CodeSelfCancelling = "self-cancelling" // warning: an expression that cancels itself
+	CodeUnreachableRMW = "unreachable-rmw" // warning: rmw vocabulary without relax DRMW
+	CodeUnreachableDep = "unreachable-dep" // warning: dep vocabulary without relax RD
+	CodeUndemotableOp  = "undemotable-op"  // warning: annotated op outside every demote ladder
+	CodeVacuousAxiom   = "vacuous-axiom"   // warning: axiom rejects nothing up to the bound
+	CodeRedundantAxiom = "redundant-axiom" // warning: axiom implied by the others up to the bound
+)
+
+// Finding is one diagnostic, positioned in the definition source (line and
+// column are 1-based; 0 when the finding has no position, e.g. tier-2
+// checks of a model without source).
+type Finding struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Msg      string   `json:"msg"`
+}
+
+// Pos returns the finding's source position.
+func (f Finding) Pos() cat.Pos { return cat.Pos{Line: f.Line, Col: f.Col} }
+
+// String renders the finding in the conventional file-less compiler form
+// "line:col: severity: code: message".
+func (f Finding) String() string {
+	if f.Line == 0 && f.Col == 0 {
+		return fmt.Sprintf("%s: %s: %s", f.Severity, f.Code, f.Msg)
+	}
+	return fmt.Sprintf("%d:%d: %s: %s: %s", f.Line, f.Col, f.Severity, f.Code, f.Msg)
+}
+
+// AxiomCheck is the tier-2 verdict for one axiom. Witness, when the axiom
+// is neither vacuous nor redundant, is a program and outcome the axiom
+// alone rejects — the independence proof.
+type AxiomCheck struct {
+	Name      string `json:"name"`
+	Vacuous   bool   `json:"vacuous"`
+	Redundant bool   `json:"redundant"`
+	Witness   string `json:"witness,omitempty"`
+}
+
+// Report is the full result of linting one definition.
+type Report struct {
+	// Model is the declared model name ("" when the definition fails to
+	// parse far enough to have one).
+	Model string `json:"model,omitempty"`
+	// Findings are the diagnostics, in source order per tier.
+	Findings []Finding `json:"findings"`
+	// Tier2 reports whether the semantic tier ran (it is skipped when the
+	// definition does not compile, when disabled, or when the vocabulary
+	// exceeds MaxVocab).
+	Tier2 bool `json:"tier2"`
+	// Bound is the tier-2 event bound the semantic verdicts are relative
+	// to (0 when tier 2 did not run).
+	Bound int `json:"bound,omitempty"`
+	// Axioms are the per-axiom tier-2 verdicts.
+	Axioms []AxiomCheck `json:"axioms,omitempty"`
+}
+
+// Errors counts findings of severity error.
+func (r *Report) Errors() int { return r.count(SevError) }
+
+// Warnings counts findings of severity warning.
+func (r *Report) Warnings() int { return r.count(SevWarning) }
+
+func (r *Report) count(sev Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any finding is severity error.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() string {
+	data, _ := json.MarshalIndent(r, "", "  ")
+	return string(data)
+}
+
+// Format renders the report for humans, one finding per line, prefixed
+// with name (a file path, typically).
+func (r *Report) Format(name string) string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s:%s\n", name, f)
+	}
+	if len(r.Findings) == 0 {
+		fmt.Fprintf(&b, "%s: clean", name)
+		if r.Tier2 {
+			fmt.Fprintf(&b, " (tier 2 up to bound %d)", r.Bound)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Options configures an analysis.
+type Options struct {
+	// DisableTier2 skips the semantic tier.
+	DisableTier2 bool
+	// Bound is the tier-2 maximum program size in events (default 4, the
+	// bound at which all shipped example definitions are provably
+	// non-redundant; smaller bounds cannot justify e.g. TSO's causality
+	// axiom and would flag it redundant).
+	Bound int
+	// MaxThreads and MaxAddrs bound the tier-2 program space (defaults 4
+	// and 3, the engine defaults).
+	MaxThreads, MaxAddrs int
+	// MaxVocab caps the vocabulary size (len(Ops) + 2*len(RMWOps)) tier 2
+	// is willing to enumerate over; larger vocabularies skip tier 2
+	// (default 16). This keeps linting adversarial or fuzzed definitions
+	// from exploding combinatorially.
+	MaxVocab int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bound == 0 {
+		o.Bound = 4
+	}
+	if o.MaxThreads == 0 {
+		o.MaxThreads = 4
+	}
+	if o.MaxAddrs == 0 {
+		o.MaxAddrs = 3
+	}
+	if o.MaxVocab == 0 {
+		o.MaxVocab = 16
+	}
+	return o
+}
+
+// Lint analyzes one cat definition source. It never panics on any input:
+// unparsable or uncompilable sources yield error findings, not failures.
+func Lint(src string, opts Options) *Report {
+	opts = opts.withDefaults()
+	r := &Report{Findings: []Finding{}}
+
+	f, err := cat.Parse(src)
+	if err != nil {
+		r.Findings = append(r.Findings, findingFromError(CodeParseError, err))
+		return r
+	}
+	r.Model = f.Name
+	r.Findings = append(r.Findings, tier1(f)...)
+
+	m, err := cat.Compile(src)
+	if err != nil {
+		// Tier 1 reports the common resolver rejections itself with
+		// dedicated codes; only add the compiler's error when it is news.
+		ce := findingFromError(CodeCompileError, err)
+		covered := false
+		for _, prev := range r.Findings {
+			if prev.Severity == SevError && prev.Line == ce.Line && prev.Col == ce.Col {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			r.Findings = append(r.Findings, ce)
+		}
+		return r
+	}
+
+	if !opts.DisableTier2 {
+		runTier2(r, m, axiomPositions(f), opts)
+	}
+	return r
+}
+
+// LintModel runs the semantic tier alone over an already-compiled model
+// (built-in Go models included). Findings carry no source positions.
+func LintModel(m memmodel.Model, opts Options) *Report {
+	opts = opts.withDefaults()
+	r := &Report{Model: m.Name(), Findings: []Finding{}}
+	runTier2(r, m, nil, opts)
+	return r
+}
+
+// findingFromError converts a compile/parse error into a finding,
+// preserving the position when the error is a positioned *cat.Error.
+func findingFromError(code string, err error) Finding {
+	f := Finding{Code: code, Severity: SevError, Msg: err.Error()}
+	var ce *cat.Error
+	if errors.As(err, &ce) {
+		f.Line, f.Col = ce.Pos.Line, ce.Pos.Col
+		f.Msg = ce.Msg
+	}
+	return f
+}
+
+// axiomPositions maps axiom names to their declaration positions.
+func axiomPositions(f *cat.File) map[string]cat.Pos {
+	pos := make(map[string]cat.Pos, len(f.Axioms))
+	for _, a := range f.Axioms {
+		if _, dup := pos[a.Name]; !dup {
+			pos[a.Name] = a.Pos
+		}
+	}
+	return pos
+}
+
+// sortFindings orders findings by position, then code (used where checks
+// do not naturally emit in source order).
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].Code < fs[j].Code
+	})
+}

@@ -1,0 +1,38 @@
+package catlint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLint: the analyzer must never panic, whatever the input — parse
+// failures, resolver rejections, and hostile-but-valid definitions all
+// come back as reports. Tier 2 runs with tiny bounds (and the vocabulary
+// cap) so enumeration stays instant even for inputs that declare many
+// ops.
+func FuzzLint(f *testing.F) {
+	f.Add("")
+	f.Add("model m\nacyclic po | rf | co | fr as ax\nops R W\n")
+	f.Add("model m\nlet a = po\nlet a = rf\nacyclic a as ax\nops R W\n")
+	f.Add("model m\nacyclic (po+)+ \\ (po+)+ as ax\nops R W R.acq\ndemote R.acq -> R.acq\nrelax DMO\n")
+	f.Add("model m\nempty rmw as ax\nops R W\nrmw R W\ndeps addr ctrl\n")
+	paths, _ := filepath.Glob(filepath.Join("testdata", "*.cat"))
+	for _, path := range paths {
+		if src, err := os.ReadFile(path); err == nil {
+			f.Add(string(src))
+		}
+	}
+	opts := Options{Bound: 2, MaxThreads: 2, MaxAddrs: 2, MaxVocab: 6}
+	f.Fuzz(func(t *testing.T, src string) {
+		report := Lint(src, opts)
+		if report == nil {
+			t.Fatal("nil report")
+		}
+		for _, finding := range report.Findings {
+			if finding.Severity != SevError && finding.Severity != SevWarning {
+				t.Fatalf("finding with invalid severity: %+v", finding)
+			}
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package catlint
+
+import (
+	"fmt"
+	"strings"
+
+	"memsynth/internal/cat"
+)
+
+// tier1 runs the structural checks over the parsed (not necessarily
+// resolvable) AST.
+func tier1(f *cat.File) []Finding {
+	var out []Finding
+	out = append(out, checkLets(f)...)
+	out = append(out, checkAxiomNames(f)...)
+	out = append(out, checkExprs(f)...)
+	out = append(out, checkDemoteLadders(f)...)
+	out = append(out, checkRelaxReachability(f)...)
+	sortFindings(out)
+	return out
+}
+
+// checkLets flags duplicate bindings, builtin shadowing, and bindings no
+// axiom (transitively) depends on.
+func checkLets(f *cat.File) []Finding {
+	var out []Finding
+	seen := make(map[string]cat.Pos, len(f.Lets))
+	for _, l := range f.Lets {
+		if prev, dup := seen[l.Name]; dup {
+			out = append(out, Finding{
+				Code: CodeDuplicateLet, Severity: SevError,
+				Line: l.Pos.Line, Col: l.Pos.Col,
+				Msg: fmt.Sprintf("let %q is already bound at %s", l.Name, prev),
+			})
+			continue
+		}
+		seen[l.Name] = l.Pos
+		if cat.Builtin(l.Name) {
+			out = append(out, Finding{
+				Code: CodeShadowsBuiltin, Severity: SevError,
+				Line: l.Pos.Line, Col: l.Pos.Col,
+				Msg: fmt.Sprintf("let %q shadows a builtin relation", l.Name),
+			})
+		}
+	}
+
+	// Liveness: a let is live iff an axiom body references it, directly or
+	// through other live lets. References resolve top-down (a let can only
+	// see earlier bindings), so one backward sweep from the axioms
+	// suffices: visiting lets last-to-first, a let referenced by any live
+	// consumer seen so far is live.
+	live := make(map[string]bool, len(f.Lets))
+	for _, a := range f.Axioms {
+		markIdents(a.Body, live)
+	}
+	for i := len(f.Lets) - 1; i >= 0; i-- {
+		l := f.Lets[i]
+		if live[l.Name] {
+			markIdents(l.Body, live)
+		}
+	}
+	for _, l := range f.Lets {
+		if _, dup := seen[l.Name]; dup && seen[l.Name] != l.Pos {
+			continue // duplicate occurrence, already reported
+		}
+		if !live[l.Name] {
+			out = append(out, Finding{
+				Code: CodeUnusedLet, Severity: SevWarning,
+				Line: l.Pos.Line, Col: l.Pos.Col,
+				Msg: fmt.Sprintf("let %q is never used by an axiom", l.Name),
+			})
+		}
+	}
+	return out
+}
+
+// markIdents records every identifier referenced by e.
+func markIdents(e cat.Expr, set map[string]bool) {
+	switch e := e.(type) {
+	case *cat.IdentExpr:
+		set[e.Name] = true
+	case *cat.BinExpr:
+		markIdents(e.L, set)
+		markIdents(e.R, set)
+	case *cat.UnExpr:
+		markIdents(e.X, set)
+	case *cat.LiftExpr:
+		markIdents(e.X, set)
+	}
+}
+
+// checkAxiomNames flags duplicate axiom declarations.
+func checkAxiomNames(f *cat.File) []Finding {
+	var out []Finding
+	seen := make(map[string]cat.Pos, len(f.Axioms))
+	for _, a := range f.Axioms {
+		if prev, dup := seen[a.Name]; dup {
+			out = append(out, Finding{
+				Code: CodeDuplicateAxiom, Severity: SevError,
+				Line: a.Pos.Line, Col: a.Pos.Col,
+				Msg: fmt.Sprintf("axiom %q is already declared at %s", a.Name, prev),
+			})
+			continue
+		}
+		seen[a.Name] = a.Pos
+	}
+	return out
+}
+
+// checkExprs walks every expression for self-cancelling operations.
+func checkExprs(f *cat.File) []Finding {
+	var out []Finding
+	walk := func(e cat.Expr) { out = append(out, selfCancelling(e)...) }
+	for _, l := range f.Lets {
+		walk(l.Body)
+	}
+	for _, a := range f.Axioms {
+		walk(a.Body)
+	}
+	return out
+}
+
+// selfCancelling recursively flags expressions whose result is trivially
+// independent of (part of) their structure: x \ x is always empty, x & x
+// and x | x are x, and nesting closure-family operators is a no-op.
+func selfCancelling(e cat.Expr) []Finding {
+	var out []Finding
+	switch e := e.(type) {
+	case *cat.BinExpr:
+		if exprEqual(e.L, e.R) {
+			switch e.Op {
+			case cat.OpDiff:
+				out = append(out, Finding{
+					Code: CodeSelfCancelling, Severity: SevWarning,
+					Line: e.Pos_.Line, Col: e.Pos_.Col,
+					Msg: "difference of an expression with itself is always empty",
+				})
+			case cat.OpInter, cat.OpUnion:
+				out = append(out, Finding{
+					Code: CodeSelfCancelling, Severity: SevWarning,
+					Line: e.Pos_.Line, Col: e.Pos_.Col,
+					Msg: fmt.Sprintf("'%v' of an expression with itself is the expression", e.Op),
+				})
+			}
+		}
+		out = append(out, selfCancelling(e.L)...)
+		out = append(out, selfCancelling(e.R)...)
+	case *cat.UnExpr:
+		if inner, ok := e.X.(*cat.UnExpr); ok {
+			if redundantNesting(e.Op, inner.Op) {
+				out = append(out, Finding{
+					Code: CodeSelfCancelling, Severity: SevWarning,
+					Line: e.Pos_.Line, Col: e.Pos_.Col,
+					Msg: fmt.Sprintf("redundant operator nesting: '%v' applied to '%v'", e.Op, inner.Op),
+				})
+			}
+		}
+		out = append(out, selfCancelling(e.X)...)
+	case *cat.LiftExpr:
+		out = append(out, selfCancelling(e.X)...)
+	}
+	return out
+}
+
+// redundantNesting reports whether applying outer directly to the result
+// of inner never changes the relation beyond what a single operator would:
+// (r+)+ = r+, (r*)* = (r*)+ = (r+)* = r*, (r?)? = r?, (r^-1)^-1 = r.
+func redundantNesting(outer, inner cat.UnOp) bool {
+	closureish := func(op cat.UnOp) bool { return op == cat.OpClosure || op == cat.OpRefClosure }
+	switch {
+	case closureish(outer) && closureish(inner):
+		return true
+	case outer == cat.OpOpt && inner == cat.OpOpt:
+		return true
+	case outer == cat.OpInverse && inner == cat.OpInverse:
+		return true
+	}
+	return false
+}
+
+// exprEqual is structural equality of expression trees (positions
+// ignored).
+func exprEqual(a, b cat.Expr) bool {
+	switch a := a.(type) {
+	case *cat.IdentExpr:
+		b, ok := b.(*cat.IdentExpr)
+		return ok && a.Name == b.Name
+	case *cat.BinExpr:
+		bb, ok := b.(*cat.BinExpr)
+		return ok && a.Op == bb.Op && exprEqual(a.L, bb.L) && exprEqual(a.R, bb.R)
+	case *cat.UnExpr:
+		bb, ok := b.(*cat.UnExpr)
+		return ok && a.Op == bb.Op && exprEqual(a.X, bb.X)
+	case *cat.LiftExpr:
+		bb, ok := b.(*cat.LiftExpr)
+		return ok && exprEqual(a.X, bb.X)
+	}
+	return false
+}
+
+// demoteNode is one node of a demotion-ladder graph, as a normalized
+// string: "R.acq", "F.sync", or "@sys". The M alias expands to both R and
+// W so ladders written against mixed aliases still connect.
+func demoteNodes(spec cat.OpSpec) []string {
+	if spec.Raw == "" {
+		return []string{"@" + spec.Scope}
+	}
+	base, suffix, _ := strings.Cut(spec.Raw, ".")
+	if base == "M" {
+		return []string{"R." + suffix, "W." + suffix}
+	}
+	return []string{spec.Raw}
+}
+
+// checkDemoteLadders verifies the demotion graphs terminate: each family's
+// one-step graph must be acyclic (a cycle would let the minimality
+// criterion demote forever without ever reaching a fixed point).
+func checkDemoteLadders(f *cat.File) []Finding {
+	type edge struct {
+		to  string
+		pos cat.Pos
+	}
+	graph := make(map[string][]edge)
+	for _, d := range f.Demotes {
+		for _, from := range demoteNodes(d.From) {
+			for _, tospec := range d.To {
+				for _, to := range demoteNodes(tospec) {
+					graph[from] = append(graph[from], edge{to: to, pos: d.Pos})
+				}
+			}
+		}
+	}
+
+	// DFS cycle detection; report each node once, at the position of the
+	// demote declaration whose edge closes the cycle.
+	var out []Finding
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(graph))
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		for _, e := range graph[n] {
+			switch color[e.to] {
+			case white:
+				visit(e.to)
+			case gray:
+				out = append(out, Finding{
+					Code: CodeCyclicDemote, Severity: SevError,
+					Line: e.pos.Line, Col: e.pos.Col,
+					Msg: fmt.Sprintf("demotion ladder cycles through %q: demotion must terminate", e.to),
+				})
+			}
+		}
+		color[n] = black
+	}
+	// Deterministic order: iterate sources in declaration order.
+	for _, d := range f.Demotes {
+		for _, from := range demoteNodes(d.From) {
+			if color[from] == white {
+				visit(from)
+			}
+		}
+	}
+	return out
+}
+
+// checkRelaxReachability flags vocabulary that the declared relaxations
+// can never perturb: such instructions weaken the minimality criterion
+// (the paper quantifies over applicable relaxations, so an unrelaxable
+// annotation is almost always an authoring mistake).
+func checkRelaxReachability(f *cat.File) []Finding {
+	var out []Finding
+	relax := make(map[string]bool, len(f.Relax))
+	for _, r := range f.Relax {
+		relax[r.Name] = true
+	}
+
+	if len(f.RMWs) > 0 && !relax["DRMW"] {
+		out = append(out, Finding{
+			Code: CodeUnreachableRMW, Severity: SevWarning,
+			Line: f.RMWs[0][0].Pos.Line, Col: f.RMWs[0][0].Pos.Col,
+			Msg: "rmw vocabulary declared but relax DRMW is off: RMW pairs can never be decomposed",
+		})
+	}
+	if len(f.Deps) > 0 && !relax["RD"] {
+		out = append(out, Finding{
+			Code: CodeUnreachableDep, Severity: SevWarning,
+			Line: f.Deps[0].Pos.Line, Col: f.Deps[0].Pos.Col,
+			Msg: "deps vocabulary declared but relax RD is off: dependencies can never be removed",
+		})
+	}
+
+	// An op with a non-plain order (or, when several fence kinds are in
+	// play, a fence kind) that is neither a demote source nor a demote
+	// target sits outside every ladder: DMO/DF can never reach it. Ladder
+	// targets are exempt — the bottom of a ladder is intentional.
+	inLadder := make(map[string]bool)
+	for _, d := range f.Demotes {
+		for _, n := range demoteNodes(d.From) {
+			inLadder[n] = true
+		}
+		for _, tospec := range d.To {
+			for _, n := range demoteNodes(tospec) {
+				inLadder[n] = true
+			}
+		}
+	}
+	fenceKinds := make(map[string]bool)
+	for _, op := range f.Ops {
+		if strings.HasPrefix(op.Raw, "F.") {
+			fenceKinds[op.Raw] = true
+		}
+	}
+	for _, op := range f.Ops {
+		base, suffix, dotted := strings.Cut(op.Raw, ".")
+		if !dotted {
+			continue
+		}
+		switch base {
+		case "R", "W", "M":
+			if suffix == "rlx" {
+				continue // already the weakest order
+			}
+			if !inLadder[base+"."+suffix] && !(base == "M" && inLadder["R."+suffix] && inLadder["W."+suffix]) {
+				out = append(out, Finding{
+					Code: CodeUndemotableOp, Severity: SevWarning,
+					Line: op.Pos.Line, Col: op.Pos.Col,
+					Msg: fmt.Sprintf("op %q has a memory-order annotation but no demote ladder mentions it (DMO can never weaken it)", op.Raw),
+				})
+			}
+		case "F":
+			// A lone fence kind needs no ladder (RI already removes it);
+			// with several kinds, one outside every ladder is suspicious.
+			if len(fenceKinds) >= 2 && !inLadder[op.Raw] {
+				out = append(out, Finding{
+					Code: CodeUndemotableOp, Severity: SevWarning,
+					Line: op.Pos.Line, Col: op.Pos.Col,
+					Msg: fmt.Sprintf("fence %q is outside every demote ladder (DF can never weaken it)", op.Raw),
+				})
+			}
+		}
+	}
+	return out
+}

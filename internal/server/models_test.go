@@ -216,3 +216,130 @@ func TestRegisterModelErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRegisterModelWarnings: warning-severity lint findings do not block
+// registration — they ride along in the 201 response and bump the
+// model_lint_warnings counter.
+func TestRegisterModelWarnings(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+
+	status, info := postModel(t, ts.URL, "model warny\nlet dead = po\nacyclic po | rf | co | fr as total\nops R W\n")
+	if status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	if len(info.Warnings) != 1 || info.Warnings[0].Code != "unused-let" || info.Warnings[0].Line != 2 {
+		t.Fatalf("register warnings: %+v", info.Warnings)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counters map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&counters); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := string(counters["model_lint_warnings"]); got != "1" {
+		t.Errorf("model_lint_warnings = %s, want 1", got)
+	}
+
+	// A clean registration carries no warnings field at all.
+	if _, clean := postModel(t, ts.URL, defA); len(clean.Warnings) != 0 {
+		t.Errorf("clean registration warnings: %+v", clean.Warnings)
+	}
+}
+
+// TestRegisterModelLintRejection: a definition that compiles but carries an
+// error-severity finding (a non-terminating demotion ladder) is rejected
+// with 422 and the findings attached.
+func TestRegisterModelLintRejection(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+
+	src := "model cyc\nacyclic po as ax\nops R W R.acq\ndemote R.acq -> R.acq\nrelax DMO\n"
+	resp, err := http.Post(ts.URL+"/v1/models", "text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("cyclic demote: status %d: %s", resp.StatusCode, data)
+	}
+	var rej struct {
+		Error    string `json:"error"`
+		Findings []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Line     int    `json:"line"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &rej); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rej.Error, "cyclic-demote") {
+		t.Errorf("rejection error: %q", rej.Error)
+	}
+	found := false
+	for _, f := range rej.Findings {
+		if f.Code == "cyclic-demote" && f.Severity == "error" && f.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rejection findings: %+v", rej.Findings)
+	}
+
+	// The model must not have been registered.
+	if sresp, _ := postSynthesize(t, ts.URL, `{"model":"cyc","max_events":3}`); sresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("rejected model is resolvable: status %d", sresp.StatusCode)
+	}
+}
+
+// TestModelLintEndpoint: the dry-run endpoint returns the full report with
+// 200 even for uncompilable sources, honors ?bound=, and registers
+// nothing.
+func TestModelLintEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+
+	lint := func(t *testing.T, path, src string) (int, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var report map[string]json.RawMessage
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, &report); err != nil {
+				t.Fatalf("bad lint response %q: %v", data, err)
+			}
+		}
+		return resp.StatusCode, report
+	}
+
+	// Uncompilable: still 200, with the parse error as a finding.
+	status, report := lint(t, "/v1/models/lint", "model broken\nacyclic po |\nops R\n")
+	if status != http.StatusOK {
+		t.Fatalf("lint of broken definition: status %d", status)
+	}
+	if !strings.Contains(string(report["findings"]), "parse-error") {
+		t.Errorf("broken definition findings: %s", report["findings"])
+	}
+
+	// Clean definition at an explicit bound.
+	status, report = lint(t, "/v1/models/lint?bound=3", defA)
+	if status != http.StatusOK || string(report["bound"]) != "3" || string(report["tier2"]) != "true" {
+		t.Fatalf("lint at bound 3: status %d report %v", status, report)
+	}
+
+	if status, _ := lint(t, "/v1/models/lint?bound=zero", defA); status != http.StatusBadRequest {
+		t.Errorf("bad bound accepted: status %d", status)
+	}
+
+	// Dry run: the linted model name is not registered.
+	if sresp, _ := postSynthesize(t, ts.URL, `{"model":"mymodel","max_events":3}`); sresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("lint registered the model: status %d", sresp.StatusCode)
+	}
+}

@@ -17,8 +17,13 @@
 //	                                 each with source ("builtin"/"cat"),
 //	                                 definition digest, axioms, relaxations
 //	POST   /v1/models                register a cat model definition (plain
-//	                                 text body); validates, compiles, and
-//	                                 returns the definition digest
+//	                                 text body); lints, compiles, and
+//	                                 returns the definition digest plus any
+//	                                 lint warnings (error findings → 422)
+//	POST   /v1/models/lint           dry-run lint of a definition (plain
+//	                                 text body); returns the full catlint
+//	                                 report without registering anything
+//	                                 (?bound= overrides the tier-2 bound)
 //	GET    /healthz                  liveness probe
 //	GET    /metrics                  expvar counters (JSON)
 //
@@ -39,9 +44,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"memsynth/internal/cat"
+	"memsynth/internal/catlint"
 	"memsynth/internal/harness"
 	"memsynth/internal/litmus"
 	"memsynth/internal/memmodel"
@@ -59,6 +66,9 @@ type Config struct {
 	// fresh registry (built-ins visible, no registrations shared with
 	// other instances).
 	Models *memmodel.Registry
+	// LintBound is the tier-2 event bound used when linting registered
+	// definitions (default: the catlint default, 4).
+	LintBound int
 }
 
 // DefaultMaxJobs is the engine-run concurrency bound when Config.MaxJobs
@@ -81,6 +91,9 @@ type metrics struct {
 	// wall-clock service time.
 	requests, latencyNS  *expvar.Int
 	jobsActive, jobsDone *expvar.Int
+	// lintWarnings counts warning findings on accepted model
+	// registrations (422 rejections are not counted).
+	lintWarnings *expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -99,17 +112,19 @@ func newMetrics() *metrics {
 	m.latencyNS = mk("synthesize_latency_ns")
 	m.jobsActive = mk("jobs_active")
 	m.jobsDone = mk("jobs_done")
+	m.lintWarnings = mk("model_lint_warnings")
 	return m
 }
 
 // Server is the memsynthd HTTP service. Create with New, mount
 // Handler(), and on shutdown call Drain then Close.
 type Server struct {
-	store   *store.Store
-	models  *memmodel.Registry
-	sem     chan struct{}
-	metrics *metrics
-	mux     *http.ServeMux
+	store    *store.Store
+	models   *memmodel.Registry
+	sem      chan struct{}
+	metrics  *metrics
+	mux      *http.ServeMux
+	lintOpts catlint.Options
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -130,12 +145,13 @@ func New(cfg Config) *Server {
 		models = memmodel.NewRegistry()
 	}
 	s := &Server{
-		store:   cfg.Store,
-		models:  models,
-		sem:     make(chan struct{}, maxJobs),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
-		synthFn: synth.SynthesizeContext,
+		store:    cfg.Store,
+		models:   models,
+		sem:      make(chan struct{}, maxJobs),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		lintOpts: catlint.Options{Bound: cfg.LintBound},
+		synthFn:  synth.SynthesizeContext,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.flights = newFlightGroup()
@@ -145,6 +161,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
+	s.mux.HandleFunc("POST /v1/models/lint", s.handleModelLint)
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
@@ -194,6 +211,9 @@ type SynthesizeResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Findings carries the lint diagnostics when a model registration is
+	// rejected for error-severity findings.
+	Findings []catlint.Finding `json:"findings,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -231,6 +251,9 @@ type modelInfo struct {
 	Digest      string   `json:"digest,omitempty"`
 	Axioms      []string `json:"axioms"`
 	Relaxations []string `json:"relaxations"`
+	// Warnings are the warning-severity lint findings of a registration
+	// response (never set in the /v1/models listing).
+	Warnings []catlint.Finding `json:"warnings,omitempty"`
 }
 
 func describeModel(m memmodel.Model) modelInfo {
@@ -251,26 +274,63 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleModelRegister compiles a cat definition (plain-text request body)
-// and registers it in this server's model registry. Registering the same
-// name again replaces the definition; cached suites are unaffected because
-// store digests are keyed by the definition hash, not the name.
+// handleModelRegister lints and compiles a cat definition (plain-text
+// request body) and registers it in this server's model registry.
+// Error-severity lint findings reject the definition with 422 (the
+// findings ride along in the error response); warnings are returned with
+// the 201 and counted in the model_lint_warnings metric. Registering the
+// same name again replaces the definition; cached suites are unaffected
+// because store digests are keyed by the definition hash, not the name.
 func (s *Server) handleModelRegister(w http.ResponseWriter, r *http.Request) {
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	report := catlint.Lint(string(src), s.lintOpts)
 	m, err := cat.Compile(string(src))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorResponse{Error: err.Error(), Findings: report.Findings})
+		return
+	}
+	if report.HasErrors() {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:    fmt.Sprintf("definition rejected by lint: %s", report.Findings[0]),
+			Findings: report.Findings,
+		})
 		return
 	}
 	if err := s.models.Register(m); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, describeModel(m))
+	info := describeModel(m)
+	info.Warnings = report.Findings
+	s.metrics.lintWarnings.Add(int64(len(report.Findings)))
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleModelLint runs the full two-tier analysis over a definition
+// without registering it. Unlike registration, an uncompilable or
+// erroneous definition still yields a 200 — the report is the product.
+// ?bound=N overrides the tier-2 event bound.
+func (s *Server) handleModelLint(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	opts := s.lintOpts
+	if raw := r.URL.Query().Get("bound"); raw != "" {
+		bound, err := strconv.Atoi(raw)
+		if err != nil || bound <= 0 {
+			writeError(w, http.StatusBadRequest, "bad bound %q", raw)
+			return
+		}
+		opts.Bound = bound
+	}
+	writeJSON(w, http.StatusOK, catlint.Lint(string(src), opts))
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,54 @@
+package synth
+
+import (
+	"testing"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+)
+
+// TestEnumerateProgramsMatchesEngine: the exported enumerator must stream
+// exactly the program space the synthesis engine explores — same
+// generator, same pruning — so its count equals Stats.ProgramsRaw.
+func TestEnumerateProgramsMatchesEngine(t *testing.T) {
+	for _, m := range []memmodel.Model{memmodel.SC(), memmodel.TSO()} {
+		opts := Options{MaxEvents: 3}
+		res := Synthesize(m, opts)
+		count := 0
+		err := EnumeratePrograms(m.Vocab(), opts, func(t *litmus.Test) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != res.Stats.ProgramsRaw {
+			t.Errorf("%s: enumerated %d programs, engine generated %d",
+				m.Name(), count, res.Stats.ProgramsRaw)
+		}
+	}
+}
+
+// TestEnumerateProgramsAbort: returning false from emit stops the stream.
+func TestEnumerateProgramsAbort(t *testing.T) {
+	count := 0
+	err := EnumeratePrograms(memmodel.SC().Vocab(), Options{MaxEvents: 4}, func(t *litmus.Test) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("emitted %d programs after abort at 5", count)
+	}
+}
+
+// TestEnumerateProgramsValidates: invalid bounds are rejected as errors,
+// not panics.
+func TestEnumerateProgramsValidates(t *testing.T) {
+	err := EnumeratePrograms(memmodel.SC().Vocab(), Options{}, func(*litmus.Test) bool { return true })
+	if err == nil {
+		t.Error("no error for zero MaxEvents")
+	}
+}
