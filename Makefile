@@ -30,12 +30,17 @@ race:
 
 # Benchmark snapshot: full synthesis + isolated explore-phase measurements
 # per model, written as machine-readable JSON (committed as BENCH_synth.json
-# so the perf trajectory is comparable across PRs). BENCH_SHORT=1 shrinks
-# the bounds for quick log-only CI runs; BENCH_OUT redirects the output.
+# so the perf trajectory is comparable across PRs), then the per-backend
+# comparison rows (enum vs sat, including the deadline-bounded case only
+# the sat backend completes) merged in as "backend_cases". BENCH_SHORT=1
+# shrinks the bounds for quick log-only CI runs; BENCH_OUT redirects the
+# output.
 BENCH_OUT ?= BENCH_synth.json
 bench:
 	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
 		$(GO) test -count=1 -run '^TestBenchSnapshot$$' -v ./internal/synth
+	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
+		$(GO) test -count=1 -timeout 30m -run '^TestBenchBackends$$' -v ./internal/synth/satgen
 
 # The original package-level micro-benchmarks (paper-facing API).
 bench-paper:

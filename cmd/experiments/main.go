@@ -35,6 +35,7 @@ import (
 
 var (
 	workers   = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
+	backendN  = flag.String("backend", "", "synthesis backend for every run (enum, sat; empty = default)")
 	progress  = flag.Bool("progress", false, "stream live synthesis progress to stderr")
 	timeout   = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
 	storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
@@ -77,6 +78,7 @@ func openStore() *store.Store {
 // results are persisted.
 func synthesize(m memsynth.Model, opts memsynth.Options) *memsynth.Result {
 	opts.Workers = *workers
+	opts.Backend = *backendN
 	if *progress {
 		opts.Progress = func(ev memsynth.ProgressEvent) {
 			if ev.Phase == memsynth.PhaseTick {

@@ -43,6 +43,7 @@ func main() {
 		modelName = flag.String("model", "tso", "memory model (sc, tso, power, armv7, armv8, scc, c11, hsa)")
 		modelFile = flag.String("model-file", "", "compile and use a cat-style model definition file instead of -model")
 		nolint    = flag.Bool("nolint", false, "skip the static analysis of -model-file definitions")
+		backendN  = flag.String("backend", "", "synthesis backend (enum, sat; empty = default); output is identical, speed differs")
 		bound     = flag.Int("bound", 4, "maximum instruction count")
 		axiom     = flag.String("axiom", "union", "axiom suite to print, or 'union'")
 		format    = flag.String("format", "pretty", "output format: pretty, litmus, asm, or dot")
@@ -105,6 +106,7 @@ func main() {
 		MaxThreads: *threads,
 		MaxAddrs:   *addrs,
 		Workers:    *workers,
+		Backend:    *backendN,
 	}
 	if *progress {
 		opts.Progress = printProgress

@@ -110,7 +110,7 @@ func main() {
 			}
 		}
 	}
-	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs, Models: registry})
+	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs, Models: registry, Logf: log.Printf})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -11,15 +11,19 @@ type compiled struct {
 	p        *Problem
 	solver   *sat.Solver
 	vars     map[string][]sat.Lit // free-variable cells; constants for bound-fixed cells
+	defCells map[string][]sat.Lit // lazily compiled Define'd relations
+	defBusy  map[string]bool      // cycle guard for definitions in flight
 	trueLit  sat.Lit
 	falseLit sat.Lit
 }
 
 func (p *Problem) compile() (*compiled, error) {
 	c := &compiled{
-		p:      p,
-		solver: sat.New(),
-		vars:   make(map[string][]sat.Lit),
+		p:        p,
+		solver:   sat.New(),
+		vars:     make(map[string][]sat.Lit),
+		defCells: make(map[string][]sat.Lit),
+		defBusy:  make(map[string]bool),
 	}
 	// A designated constant-true literal.
 	c.trueLit = c.newLit()
@@ -45,7 +49,7 @@ func (p *Problem) compile() (*compiled, error) {
 		c.vars[name] = cells
 	}
 	for _, f := range p.facts {
-		lit, err := c.formula(f)
+		lit, err := c.formula(f, polPos)
 		if err != nil {
 			return nil, err
 		}
@@ -53,6 +57,21 @@ func (p *Problem) compile() (*compiled, error) {
 	}
 	return c, nil
 }
+
+// polarity tracks how a subformula's truth value is used, so acyclicity can
+// compile to a one-sided encoding: a fact is asserted positively, negation
+// flips the polarity, and conjunction/disjunction preserve it. A formula
+// that may be used in both directions (e.g. under an equivalence we do not
+// build today) must fall back to the exact two-sided circuit.
+type polarity int8
+
+const (
+	polPos  polarity = 1  // the returned literal is asserted (or implied) true
+	polNeg  polarity = -1 // the returned literal is asserted (or implied) false
+	polBoth polarity = 0
+)
+
+func (p polarity) flip() polarity { return -p }
 
 func (c *compiled) newLit() sat.Lit {
 	return sat.NewLit(c.solver.NewVar(), false)
@@ -138,11 +157,26 @@ func (c *compiled) expr(e Expr) ([]sat.Lit, error) {
 	n := c.p.n
 	switch e := e.(type) {
 	case VarExpr:
-		cells, ok := c.vars[e.Name]
-		if !ok {
-			return nil, fmt.Errorf("rml: undeclared relation %q", e.Name)
+		if cells, ok := c.vars[e.Name]; ok {
+			return cells, nil
 		}
-		return cells, nil
+		if cells, ok := c.defCells[e.Name]; ok {
+			return cells, nil
+		}
+		if def, ok := c.p.defs[e.Name]; ok {
+			if c.defBusy[e.Name] {
+				return nil, fmt.Errorf("rml: definition cycle through %q", e.Name)
+			}
+			c.defBusy[e.Name] = true
+			cells, err := c.expr(def)
+			delete(c.defBusy, e.Name)
+			if err != nil {
+				return nil, err
+			}
+			c.defCells[e.Name] = cells
+			return cells, nil
+		}
+		return nil, fmt.Errorf("rml: undeclared relation %q", e.Name)
 	case ConstExpr:
 		if e.Rel.N() != n {
 			return nil, fmt.Errorf("rml: constant relation universe %d != %d", e.Rel.N(), n)
@@ -239,6 +273,16 @@ func (c *compiled) expr(e Expr) ([]sat.Lit, error) {
 			out[i*n+i] = c.trueLit
 		}
 		return out, nil
+	case ReflexiveExpr:
+		a, err := c.expr(e.A)
+		if err != nil {
+			return nil, err
+		}
+		out := append([]sat.Lit(nil), a...)
+		for i := 0; i < n; i++ {
+			out[i*n+i] = c.trueLit
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("rml: unknown expression %T", e)
 }
@@ -276,8 +320,10 @@ func (c *compiled) closure(a []sat.Lit) []sat.Lit {
 	return cur
 }
 
-// formula compiles a formula to a single literal.
-func (c *compiled) formula(f Formula) (sat.Lit, error) {
+// formula compiles a formula to a single literal. pol records how the
+// caller uses that literal; all cases except acyclicity compile exact
+// two-sided circuits and ignore it.
+func (c *compiled) formula(f Formula, pol polarity) (sat.Lit, error) {
 	n := c.p.n
 	switch f := f.(type) {
 	case SubsetFormula:
@@ -315,7 +361,17 @@ func (c *compiled) formula(f Formula) (sat.Lit, error) {
 		}
 		return c.andN(negs), nil
 	case AcyclicFormula:
-		return c.formula(IrreflexiveFormula{ClosureExpr{f.A}})
+		a, err := c.expr(f.A)
+		if err != nil {
+			return 0, err
+		}
+		switch pol {
+		case polPos:
+			return c.acyclicPos(a), nil
+		case polNeg:
+			return c.acyclicNeg(a), nil
+		}
+		return c.formula(IrreflexiveFormula{ClosureExpr{f.A}}, polBoth)
 	case InFormula:
 		if f.I < 0 || f.I >= n || f.J < 0 || f.J >= n {
 			return 0, fmt.Errorf("rml: pair (%d,%d) outside universe", f.I, f.J)
@@ -326,7 +382,7 @@ func (c *compiled) formula(f Formula) (sat.Lit, error) {
 		}
 		return a[f.I*n+f.J], nil
 	case NotFormula:
-		l, err := c.formula(f.F)
+		l, err := c.formula(f.F, pol.flip())
 		if err != nil {
 			return 0, err
 		}
@@ -334,7 +390,7 @@ func (c *compiled) formula(f Formula) (sat.Lit, error) {
 	case AndFormula:
 		lits := make([]sat.Lit, 0, len(f.Fs))
 		for _, sub := range f.Fs {
-			l, err := c.formula(sub)
+			l, err := c.formula(sub, pol)
 			if err != nil {
 				return 0, err
 			}
@@ -344,7 +400,7 @@ func (c *compiled) formula(f Formula) (sat.Lit, error) {
 	case OrFormula:
 		lits := make([]sat.Lit, 0, len(f.Fs))
 		for _, sub := range f.Fs {
-			l, err := c.formula(sub)
+			l, err := c.formula(sub, pol)
 			if err != nil {
 				return 0, err
 			}
@@ -353,6 +409,139 @@ func (c *compiled) formula(f Formula) (sat.Lit, error) {
 		return c.orN(lits), nil
 	}
 	return 0, fmt.Errorf("rml: unknown formula %T", f)
+}
+
+// activeNodes returns the atoms incident to a cell of the edge matrix that
+// is not constant-false.
+func (c *compiled) activeNodes(a []sat.Lit) []int {
+	n := c.p.n
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v, ok := c.isConst(a[i*n+j]); ok && !v {
+				continue
+			}
+			seen[i], seen[j] = true, true
+		}
+	}
+	var nodes []int
+	for i, s := range seen {
+		if s {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
+}
+
+// acyclicPos builds the one-sided topological-order encoding of
+// acyclicity: the returned literal L satisfies L → acyclic(a). Fresh
+// order variables ord(i,j) form a strict total order over the active
+// nodes (antisymmetry by representation, transitivity by clauses over
+// triples), and every present edge must agree with it. The reverse
+// direction (acyclic → L) is not encoded, which is sound for positive
+// occurrences: whenever the edge assignment is acyclic, some topological
+// order makes L assignable, so satisfiability is preserved. This is
+// linear-ish in nodes³ instead of the n²·log n gates of the closure
+// circuit — the difference that makes per-program minimality queries
+// cheap enough for the sat synthesis backend.
+func (c *compiled) acyclicPos(a []sat.Lit) sat.Lit {
+	n := c.p.n
+	nodes := c.activeNodes(a)
+	if len(nodes) == 0 {
+		return c.trueLit
+	}
+	L := c.newLit()
+	// ord[i][j] (i<j in node-index space) ⇔ node i before node j.
+	ord := make(map[[2]int]sat.Lit, len(nodes)*len(nodes)/2)
+	ordLit := func(i, j int) sat.Lit { // i before j
+		if i < j {
+			return ord[[2]int{i, j}]
+		}
+		return ord[[2]int{j, i}].Not()
+	}
+	for ii, i := range nodes {
+		for _, j := range nodes[ii+1:] {
+			ord[[2]int{i, j}] = c.newLit()
+		}
+	}
+	// Transitivity: before(i,j) ∧ before(j,k) → before(i,k).
+	for _, i := range nodes {
+		for _, j := range nodes {
+			if j == i {
+				continue
+			}
+			for _, k := range nodes {
+				if k == i || k == j {
+					continue
+				}
+				c.solver.AddClause(ordLit(i, j).Not(), ordLit(j, k).Not(), ordLit(i, k))
+			}
+		}
+	}
+	// Edges respect the order; self-loops contradict L outright.
+	for _, i := range nodes {
+		for _, j := range nodes {
+			e := a[i*n+j]
+			if v, ok := c.isConst(e); ok && !v {
+				continue
+			}
+			if i == j {
+				if v, ok := c.isConst(e); ok && v {
+					c.solver.AddClause(L.Not())
+				} else {
+					c.solver.AddClause(L.Not(), e.Not())
+				}
+				continue
+			}
+			if v, ok := c.isConst(e); ok && v {
+				c.solver.AddClause(L.Not(), ordLit(i, j))
+			} else {
+				c.solver.AddClause(L.Not(), e.Not(), ordLit(i, j))
+			}
+		}
+	}
+	return L
+}
+
+// acyclicNeg builds the one-sided cycle-certificate encoding: the returned
+// literal L satisfies ¬L → cyclic(a). Selector variables mark a nonempty
+// node set in which every selected node has a present edge to a selected
+// node — such a set necessarily contains a cycle. Conversely a cyclic edge
+// assignment lets the solver select the cycle, so ¬L stays assignable and
+// satisfiability is preserved for negative occurrences (Not(Acyclic(...)),
+// the "some execution is forbidden" half of minimality queries).
+func (c *compiled) acyclicNeg(a []sat.Lit) sat.Lit {
+	n := c.p.n
+	nodes := c.activeNodes(a)
+	if len(nodes) == 0 {
+		// No possible edges: acyclic holds; ¬L must be unsatisfiable.
+		return c.trueLit
+	}
+	L := c.newLit()
+	sel := make(map[int]sat.Lit, len(nodes))
+	for _, i := range nodes {
+		sel[i] = c.newLit()
+	}
+	// ¬L → some node selected.
+	clause := []sat.Lit{L}
+	for _, i := range nodes {
+		clause = append(clause, sel[i])
+	}
+	c.solver.AddClause(clause...)
+	// ¬L ∧ sel(i) → edge from i to some selected node.
+	for _, i := range nodes {
+		clause = clause[:0]
+		clause = append(clause, L, sel[i].Not())
+		for _, j := range nodes {
+			e := a[i*n+j]
+			if v, ok := c.isConst(e); ok && !v {
+				continue
+			}
+			clause = append(clause, c.and(e, sel[j]))
+		}
+		c.solver.AddClause(clause...)
+	}
+	return L
 }
 
 // extract reads the current model into concrete relations.

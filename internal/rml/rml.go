@@ -48,6 +48,10 @@ type (
 	ClosureExpr struct{ A Expr }
 	// RClosureExpr is the reflexive transitive closure *a.
 	RClosureExpr struct{ A Expr }
+	// ReflexiveExpr is a ∪ iden (the full diagonal, matching RClosureExpr's
+	// treatment): the cheap reflexive closure for expressions already known
+	// to be transitive, avoiding the iterated-squaring closure circuit.
+	ReflexiveExpr struct{ A Expr }
 )
 
 func (VarExpr) exprNode()       {}
@@ -59,6 +63,7 @@ func (JoinExpr) exprNode()      {}
 func (TransposeExpr) exprNode() {}
 func (ClosureExpr) exprNode()   {}
 func (RClosureExpr) exprNode()  {}
+func (ReflexiveExpr) exprNode() {}
 
 // Convenience constructors.
 
@@ -97,6 +102,10 @@ func Closure(a Expr) Expr { return ClosureExpr{a} }
 
 // RClosure returns *a.
 func RClosure(a Expr) Expr { return RClosureExpr{a} }
+
+// Reflexive returns a ∪ iden. For a transitive a it equals RClosure(a) but
+// compiles without the closure circuit.
+func Reflexive(a Expr) Expr { return ReflexiveExpr{a} }
 
 // Formula is a boolean constraint over relational expressions.
 type Formula interface {
@@ -164,6 +173,7 @@ type Problem struct {
 	varDecl map[string]varBounds
 	order   []string
 	facts   []Formula
+	defs    map[string]Expr
 }
 
 type varBounds struct {
@@ -175,7 +185,7 @@ func NewProblem(n int) *Problem {
 	if n <= 0 || n > relation.MaxUniverse {
 		panic(fmt.Sprintf("rml: universe size %d out of range", n))
 	}
-	return &Problem{n: n, varDecl: make(map[string]varBounds)}
+	return &Problem{n: n, varDecl: make(map[string]varBounds), defs: make(map[string]Expr)}
 }
 
 // N returns the universe size.
@@ -188,6 +198,9 @@ func (p *Problem) N() int { return p.n }
 func (p *Problem) Declare(name string, lower, upper relation.Rel) {
 	if _, dup := p.varDecl[name]; dup {
 		panic(fmt.Sprintf("rml: duplicate declaration of %q", name))
+	}
+	if _, dup := p.defs[name]; dup {
+		panic(fmt.Sprintf("rml: %q already defined", name))
 	}
 	if lower.N() != p.n || upper.N() != p.n {
 		panic("rml: bounds universe mismatch")
@@ -202,64 +215,115 @@ func (p *Problem) Declare(name string, lower, upper relation.Rel) {
 // Fact adds a constraint every model must satisfy.
 func (p *Problem) Fact(f Formula) { p.facts = append(p.facts, f) }
 
+// Define names a derived relation: Var(name) then refers to e, and the
+// compiler builds e's circuit once no matter how many facts mention the
+// name. Without a definition, an expression shared across facts is
+// re-compiled at every occurrence — for a join that is n³ fresh gates per
+// mention, the dominant compile cost of per-program minimality queries.
+// Defined relations are not free variables: they never appear in models
+// and blocking clauses, and definitions may reference declared variables
+// and previously defined names.
+func (p *Problem) Define(name string, e Expr) Expr {
+	if _, dup := p.varDecl[name]; dup {
+		panic(fmt.Sprintf("rml: duplicate declaration of %q", name))
+	}
+	if _, dup := p.defs[name]; dup {
+		panic(fmt.Sprintf("rml: %q already defined", name))
+	}
+	p.defs[name] = e
+	return VarExpr{name}
+}
+
 // Model is one satisfying assignment of the free relation variables.
 type Model map[string]relation.Rel
 
-// Solve returns whether the problem is satisfiable and, if so, one model.
-func (p *Problem) Solve() (Model, bool, error) {
-	s, err := p.compile()
+// Instance is a compiled Problem holding live solver state, the handle for
+// incremental model enumeration: Solve / Block / Solve reuses everything
+// the CDCL solver learned between calls instead of recompiling.
+type Instance struct {
+	c *compiled
+}
+
+// Compile translates the problem to CNF once and returns the reusable
+// instance. Facts added to the Problem after Compile are not seen by the
+// instance.
+func (p *Problem) Compile() (*Instance, error) {
+	c, err := p.compile()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	ok, err := s.solver.Solve()
+	return &Instance{c: c}, nil
+}
+
+// SetMaxConflicts bounds each subsequent Solve call to k conflicts
+// (0 disables the budget); an exhausted budget surfaces as sat.ErrBudget.
+func (in *Instance) SetMaxConflicts(k int64) { in.c.solver.MaxConflicts = k }
+
+// Solve returns whether the instance (with every blocking clause added so
+// far) is still satisfiable and, if so, one model.
+func (in *Instance) Solve() (Model, bool, error) {
+	ok, err := in.c.solver.Solve()
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	return s.extract(), true, nil
+	return in.c.extract(), true, nil
+}
+
+// Block adds a blocking clause excluding m's assignment of the free
+// variable cells, so the next Solve finds a different model. It returns
+// false when no model can differ (no free cells, or the clause is
+// immediately contradictory) — enumeration is complete.
+func (in *Instance) Block(m Model) bool {
+	s, p := in.c, in.c.p
+	var block []sat.Lit
+	for name, cells := range s.vars {
+		rel := m[name]
+		for idx, lit := range cells {
+			if _, fixed := s.isConst(lit); fixed {
+				continue // fixed by bounds
+			}
+			i, j := idx/p.n, idx%p.n
+			if rel.Has(i, j) {
+				block = append(block, lit.Not())
+			} else {
+				block = append(block, lit)
+			}
+		}
+	}
+	if len(block) == 0 {
+		return false // no free cells: unique model
+	}
+	return s.solver.AddClause(block...)
+}
+
+// Solve returns whether the problem is satisfiable and, if so, one model.
+func (p *Problem) Solve() (Model, bool, error) {
+	in, err := p.Compile()
+	if err != nil {
+		return nil, false, err
+	}
+	return in.Solve()
 }
 
 // EnumerateModels visits every model of the problem (deduplicated over the
 // free variables) until visit returns false. It returns the number of
 // models visited.
 func (p *Problem) EnumerateModels(visit func(Model) bool) (int, error) {
-	s, err := p.compile()
+	in, err := p.Compile()
 	if err != nil {
 		return 0, err
 	}
 	count := 0
 	for {
-		ok, err := s.solver.Solve()
-		if err != nil {
+		m, ok, err := in.Solve()
+		if err != nil || !ok {
 			return count, err
 		}
-		if !ok {
-			return count, nil
-		}
-		m := s.extract()
 		count++
 		if !visit(m) {
 			return count, nil
 		}
-		// Block this assignment of the free variables.
-		var block []sat.Lit
-		for name, cells := range s.vars {
-			rel := m[name]
-			for idx, lit := range cells {
-				if _, fixed := s.isConst(lit); fixed {
-					continue // fixed by bounds
-				}
-				i, j := idx/p.n, idx%p.n
-				if rel.Has(i, j) {
-					block = append(block, lit.Not())
-				} else {
-					block = append(block, lit)
-				}
-			}
-		}
-		if len(block) == 0 {
-			return count, nil // no free cells: unique model
-		}
-		if !s.solver.AddClause(block...) {
+		if !in.Block(m) {
 			return count, nil
 		}
 	}

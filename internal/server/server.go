@@ -54,6 +54,10 @@ import (
 	"memsynth/internal/memmodel"
 	"memsynth/internal/store"
 	"memsynth/internal/synth"
+
+	// Register the SAT-guided backend so "backend": "sat" resolves even
+	// when the server is embedded without the memsynth facade.
+	_ "memsynth/internal/synth/satgen"
 )
 
 // Config configures a Server.
@@ -69,6 +73,10 @@ type Config struct {
 	// LintBound is the tier-2 event bound used when linting registered
 	// definitions (default: the catlint default, 4).
 	LintBound int
+	// Logf, when non-nil, receives request-level log lines (selected
+	// synthesis backend, backend fallback warnings). The daemon wires
+	// log.Printf; nil discards.
+	Logf func(format string, args ...any)
 }
 
 // DefaultMaxJobs is the engine-run concurrency bound when Config.MaxJobs
@@ -94,6 +102,9 @@ type metrics struct {
 	// lintWarnings counts warning findings on accepted model
 	// registrations (422 rejections are not counted).
 	lintWarnings *expvar.Int
+	// backendReqs counts synthesize requests per selected backend
+	// (after defaulting, before cache lookup).
+	backendReqs *expvar.Map
 }
 
 func newMetrics() *metrics {
@@ -113,6 +124,8 @@ func newMetrics() *metrics {
 	m.jobsActive = mk("jobs_active")
 	m.jobsDone = mk("jobs_done")
 	m.lintWarnings = mk("model_lint_warnings")
+	m.backendReqs = new(expvar.Map).Init()
+	m.all.Set("synth_backend_requests", m.backendReqs)
 	return m
 }
 
@@ -125,6 +138,8 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 	lintOpts catlint.Options
+
+	logFn func(format string, args ...any)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -151,6 +166,7 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		mux:      http.NewServeMux(),
 		lintOpts: catlint.Options{Bound: cfg.LintBound},
+		logFn:    cfg.Logf,
 		synthFn:  synth.SynthesizeContext,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -163,6 +179,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
 	s.mux.HandleFunc("POST /v1/models/lint", s.handleModelLint)
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
 	s.mux.HandleFunc("GET /v1/suites/{digest}", s.handleSuiteGet)
@@ -173,6 +190,12 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logFn != nil {
+		s.logFn(format, args...)
+	}
+}
 
 // Drain blocks until every async job has completed, or ctx expires.
 func (s *Server) Drain(ctx context.Context) error { return s.jobs.wait(ctx) }
@@ -188,6 +211,11 @@ func (s *Server) Close() { s.baseCancel() }
 type SynthesizeRequest struct {
 	Model string `json:"model"`
 	store.RequestOptions
+	// Backend selects the synthesis backend ("" means the default,
+	// "enum"). Backend choice never changes the produced suites or the
+	// cache digest — an unknown name is rejected with 422 listing the
+	// known backends.
+	Backend string `json:"backend,omitempty"`
 	// Async enqueues a job and returns 202 with its ID instead of
 	// blocking until the suite is ready.
 	Async bool `json:"async,omitempty"`
@@ -350,10 +378,29 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	backendName := req.Backend
+	if backendName == "" {
+		backendName = synth.DefaultBackend
+	}
+	be, err := synth.BackendByName(backendName)
+	if err != nil {
+		// The error text lists the registered backends.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
 	opts := req.RequestOptions.SynthOptions()
+	opts.Backend = backendName
 	if err := opts.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	s.metrics.backendReqs.Add(backendName, 1)
+	s.logf("synthesize model=%s max_events=%d backend=%s", model.Name(), opts.MaxEvents, backendName)
+	if sup, ok := be.(synth.Supporter); ok {
+		if native, reason := sup.Supports(model); !native {
+			s.logf("warning: backend %s falls back to the enum engine for model %s: %s",
+				backendName, model.Name(), reason)
+		}
 	}
 	switch req.Format {
 	case "", "json", "litmus":
@@ -415,6 +462,41 @@ func synthesizeResponse(ss *store.StoredSuite, cached bool) SynthesizeResponse {
 		resp.Suites[name] = sm.Tests
 	}
 	return resp
+}
+
+// backendInfo is one row of the /v1/backends listing.
+type backendInfo struct {
+	Name    string `json:"name"`
+	Default bool   `json:"default"`
+	// Fallbacks maps visible model names to the reason this backend runs
+	// them on the enumerative engine instead of its native search; absent
+	// for models (and backends) handled natively.
+	Fallbacks map[string]string `json:"fallbacks,omitempty"`
+}
+
+// handleBackends lists the registered synthesis backends and, per visible
+// model, whether each backend would fall back to the enumerative engine.
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	var out []backendInfo
+	for _, name := range synth.Backends() {
+		be, err := synth.BackendByName(name)
+		if err != nil {
+			continue // racing deregistration cannot happen; defensive
+		}
+		info := backendInfo{Name: name, Default: name == synth.DefaultBackend}
+		if sup, ok := be.(synth.Supporter); ok {
+			for _, m := range s.models.All() {
+				if native, reason := sup.Supports(m); !native {
+					if info.Fallbacks == nil {
+						info.Fallbacks = make(map[string]string)
+					}
+					info.Fallbacks[m.Name()] = reason
+				}
+			}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSuiteList(w http.ResponseWriter, _ *http.Request) {

@@ -68,7 +68,7 @@ func benchExplore(b *testing.B, m memmodel.Model, bound int) {
 	for i := 0; i < b.N; i++ {
 		for _, winners := range perSize {
 			for _, w := range winners {
-				e.processProgram(checker, w.test)
+				e.processProgram(checker, nil, w.test)
 			}
 		}
 	}

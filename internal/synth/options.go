@@ -19,6 +19,11 @@ type Options struct {
 	MaxDeps int
 	// MaxRMWs bounds the number of RMW pairs (default 1).
 	MaxRMWs int
+	// Backend selects the synthesis engine implementation by registered
+	// name ("" means DefaultBackend, i.e. "enum"). Every backend produces
+	// byte-identical suites, so Normalize strips the field and backend
+	// choice never affects store digests.
+	Backend string
 	// Workers fans the per-program work out over this many goroutines
 	// (default runtime.NumCPU()). Results are identical for every worker
 	// count: dedupe keeps the generation-order-first representative of
@@ -75,16 +80,22 @@ func (o Options) Validate() error {
 	case o.ProgressInterval < 0:
 		return fmt.Errorf("synth: Options.ProgressInterval must be non-negative, got %v", o.ProgressInterval)
 	}
+	if o.Backend != "" {
+		if _, err := BackendByName(o.Backend); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Normalize returns o with defaults applied and the engine-tuning knobs
-// that do not affect results (Workers, Progress, ProgressInterval)
+// that do not affect results (Backend, Workers, Progress, ProgressInterval)
 // cleared. Two Options values describe the same synthesis output iff their
 // normalized forms are equal, which is what content-addressed storage
 // (internal/store) digests.
 func (o Options) Normalize() Options {
 	o = o.withDefaults()
+	o.Backend = ""
 	o.Workers = 0
 	o.Progress = nil
 	o.ProgressInterval = 0
