@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint bench bench-paper fuzz serve
+.PHONY: check build test vet race lint bench bench-paper fuzz serve cluster cluster-test
 
 check: vet build race lint
 
@@ -58,3 +58,19 @@ fuzz:
 # Run the synthesis daemon locally (Ctrl-C drains in-flight jobs).
 serve:
 	$(GO) run ./cmd/memsynthd -addr :8080 -data-dir memsynthd-data
+
+# Run a local 3-node cluster: one coordinator on :8080 plus two workers
+# that join it and share its store as a cache tier. Ctrl-C drains all
+# three (workers finish or hand back their in-flight shards first).
+cluster:
+	$(GO) build -o bin/memsynthd ./cmd/memsynthd
+	./bin/memsynthd -addr :8080 -data-dir memsynthd-data -coordinator & \
+	./bin/memsynthd -addr :8081 -data-dir memsynthd-w1 -join http://localhost:8080 -worker-name w1 & \
+	./bin/memsynthd -addr :8082 -data-dir memsynthd-w2 -join http://localhost:8080 -worker-name w2 & \
+	trap 'kill 0' INT TERM; wait
+
+# The in-process cluster suite under the race detector: shard-merge
+# determinism against single-node bytes, worker-kill reassignment, drain
+# hand-back, backpressure, and the 3-node smoke.
+cluster-test:
+	$(GO) test -race -count=1 -v ./internal/cluster

@@ -15,6 +15,7 @@
 //	GET    /v1/jobs/{id}[?stream=1]    async job status / NDJSON progress
 //	GET    /v1/suites                  list stored suites
 //	GET    /v1/suites/{digest}         manifest (or ?format=litmus&axiom=...)
+//	GET    /v1/suites/{digest}/bundle  full store entry (peer cache tier)
 //	DELETE /v1/suites/{digest}         evict
 //	GET    /v1/suites/{digest}/detect  x86-TSO fault-detection matrix
 //	GET    /v1/models                  visible models (built-in + registered)
@@ -26,9 +27,26 @@
 // each had been POSTed to /v1/models. -pprof serves net/http/pprof on a
 // separate private address (off by default).
 //
+// Cluster mode turns a fleet of memsynthd processes into one horizontally
+// scaled, cache-sharing service:
+//
+//	memsynthd -coordinator                      # this node partitions cold
+//	                                            # requests into shard jobs and
+//	                                            # serves /v1/cluster/* to workers
+//	memsynthd -join http://coord:8080           # this node registers as a
+//	                                            # worker, runs shard jobs, and
+//	                                            # reads through the
+//	                                            # coordinator's store on misses
+//
+// -cluster-workers fixes the shard count per request (default: the live
+// worker count at submission). -race-backends races the enumerative and
+// SAT-guided backends on cold local runs and keeps the first finisher.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, waits for
 // in-flight requests and async jobs to drain (bounded by -drain-timeout),
-// then cancels whatever remains. A second signal forces immediate exit.
+// then cancels whatever remains; a draining worker finishes or hands back
+// its in-flight shards so no shard is lost. A second signal forces
+// immediate exit.
 package main
 
 import (
@@ -47,6 +65,7 @@ import (
 
 	"memsynth/internal/cat"
 	"memsynth/internal/catlint"
+	"memsynth/internal/cluster"
 	"memsynth/internal/memmodel"
 	"memsynth/internal/server"
 	"memsynth/internal/store"
@@ -61,8 +80,19 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 		modelsDir    = flag.String("models", "", "directory of *.cat model definitions to register at startup")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; off by default)")
+
+		coordinator    = flag.Bool("coordinator", false, "coordinate a synthesis cluster: distribute cold requests to joined workers")
+		joinURL        = flag.String("join", "", "join the cluster coordinated at this base URL (e.g. http://coord:8080) as a worker")
+		clusterWorkers = flag.Int("cluster-workers", 0, "shards per distributed request (0 = live worker count at submission)")
+		workerName     = flag.String("worker-name", "", "worker name reported to the coordinator (default: the hostname)")
+		warmupEvery    = flag.Duration("warmup-interval", 0, "coordinator warmup prefetch cadence (0 disables; e.g. 1m)")
+		raceBackends   = flag.Bool("race-backends", false, "race the enum and sat backends on cold local synthesis; first complete result wins")
 	)
 	flag.Parse()
+	if *coordinator && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "memsynthd: -coordinator and -join are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on http.DefaultServeMux;
@@ -110,7 +140,31 @@ func main() {
 			}
 		}
 	}
-	srv := server.New(server.Config{Store: st, MaxJobs: *maxJobs, Models: registry, Logf: log.Printf})
+
+	cfg := server.Config{
+		Store:        st,
+		MaxJobs:      *maxJobs,
+		Models:       registry,
+		Logf:         log.Printf,
+		RaceBackends: *raceBackends,
+	}
+	var coord *cluster.Coordinator
+	if *coordinator {
+		coord = cluster.New(cluster.Config{
+			Store:            st,
+			ShardsPerRequest: *clusterWorkers,
+			WarmupInterval:   *warmupEvery,
+			Logf:             log.Printf,
+		})
+		defer coord.Close()
+		cfg.Cluster = coord
+	}
+	if *joinURL != "" {
+		// Worker nodes treat the coordinator's store as a shared cache
+		// tier: a local miss fetches the suite bundle before synthesizing.
+		cfg.Peer = cluster.NewPeerClient(*joinURL, nil)
+	}
+	srv := server.New(cfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -121,10 +175,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Worker mode: run the shard-job loop alongside the local HTTP API.
+	// The worker drains on the same signal the HTTP server does — it
+	// finishes or hands back in-flight shards before the process exits.
+	workerDone := make(chan struct{})
+	if *joinURL != "" {
+		name := *workerName
+		if name == "" {
+			name, _ = os.Hostname()
+		}
+		wk := cluster.NewWorker(cluster.WorkerConfig{
+			CoordinatorURL: *joinURL,
+			Name:           name,
+			DrainGrace:     *drainTimeout,
+			Logf:           log.Printf,
+		})
+		go func() {
+			defer close(workerDone)
+			if err := wk.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("memsynthd: worker: %v", err)
+			}
+		}()
+		log.Printf("memsynthd: joining cluster at %s as %q", *joinURL, name)
+	} else {
+		close(workerDone)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("memsynthd listening on %s (store %s, max-jobs %d, cache %d)",
-		*addr, *dataDir, *maxJobs, *cacheEntries)
+	mode := "standalone"
+	switch {
+	case *coordinator:
+		mode = "coordinator"
+	case *joinURL != "":
+		mode = "worker"
+	}
+	log.Printf("memsynthd listening on %s (store %s, max-jobs %d, cache %d, mode %s)",
+		*addr, *dataDir, *maxJobs, *cacheEntries, mode)
 
 	select {
 	case err := <-errc:
@@ -141,6 +228,11 @@ func main() {
 	}
 	if err := srv.Drain(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("memsynthd: job drain: %v", err)
+	}
+	select {
+	case <-workerDone:
+	case <-drainCtx.Done():
+		log.Printf("memsynthd: worker drain timed out")
 	}
 	srv.Close()
 	log.Printf("memsynthd: bye")

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
+	"memsynth/internal/cluster"
 	"memsynth/internal/memmodel"
 	"memsynth/internal/store"
 	"memsynth/internal/synth"
@@ -102,12 +104,24 @@ func (g *flightGroup) forget(digest string) {
 // whether the suite was served without an engine run from this call's
 // perspective (store hit only; coalesced followers report cached=false,
 // matching "the request did trigger/await synthesis").
-func (s *Server) synthesize(ctx context.Context, model memmodel.Model, opts synth.Options, digest string, attach func(*flight)) (ss *store.StoredSuite, cached bool, err error) {
-	if ss, err := s.store.Get(digest); err == nil {
+func (s *Server) synthesize(ctx context.Context, model memmodel.Model, opts synth.Options, digest string, pri cluster.Priority, attach func(*flight)) (ss *store.StoredSuite, cached bool, err error) {
+	// The lookup reads through the peer cache tier when one is wired
+	// (worker nodes pointing at the coordinator's store): a peer hit is
+	// persisted locally and served as a cache hit — synthesis is the
+	// last resort.
+	if ss, fromPeer, err := s.store.GetThrough(ctx, digest, s.peer); err == nil {
 		s.metrics.hits.Add(1)
+		if fromPeer {
+			s.metrics.peerHits.Add(1)
+		}
 		return ss, true, nil
 	} else if !errors.Is(err, store.ErrNotFound) {
-		return nil, false, err
+		if s.peer == nil {
+			return nil, false, err
+		}
+		// An unreachable (or misbehaving) peer must never take down
+		// synthesis; degrade to a plain miss and compute locally.
+		s.logf("peer read-through failed for %.12s: %v", digest, err)
 	}
 	s.metrics.misses.Add(1)
 
@@ -118,7 +132,7 @@ func (s *Server) synthesize(ctx context.Context, model memmodel.Model, opts synt
 		attach(f)
 	}
 	if leader {
-		go s.lead(f, model, opts)
+		go s.lead(f, model, opts, pri)
 	} else {
 		s.metrics.coalesced.Add(1)
 	}
@@ -134,9 +148,33 @@ func (s *Server) synthesize(ctx context.Context, model memmodel.Model, opts synt
 
 // lead runs the engine for flight f and publishes the result. It is the
 // only goroutine that writes f.ss/f.err before done is closed.
-func (s *Server) lead(f *flight, model memmodel.Model, opts synth.Options) {
+func (s *Server) lead(f *flight, model memmodel.Model, opts synth.Options, pri cluster.Priority) {
 	defer close(f.done)
 	defer s.flights.forget(f.digest)
+
+	// Coordinator mode: distribute the run across the worker fleet. The
+	// cluster path sits before the local engine semaphore — the compute
+	// happens on workers, so holding a local run slot would be wrong.
+	// An empty fleet or non-shippable model falls back to the local
+	// engine; saturation propagates to the client as backpressure (429).
+	if s.cluster != nil {
+		res, err := s.cluster.Synthesize(f.runCtx, model, opts, pri, f.observe)
+		switch {
+		case err == nil:
+			f.ss, f.err = s.store.Put(res)
+			return
+		case errors.Is(err, cluster.ErrSaturated):
+			f.err = err
+			return
+		case f.runCtx.Err() != nil:
+			f.err = errAbandoned
+			return
+		case errors.Is(err, cluster.ErrNoWorkers), errors.Is(err, cluster.ErrNotDistributable):
+			s.logf("cluster: local fallback for %.12s: %v", f.digest, err)
+		default:
+			s.logf("cluster: synthesis of %.12s failed (%v); falling back to local run", f.digest, err)
+		}
+	}
 
 	// Bound concurrent engine runs; give up if the run is cancelled (all
 	// waiters gone or server closing) while still queued.
@@ -153,7 +191,7 @@ func (s *Server) lead(f *flight, model memmodel.Model, opts synth.Options) {
 	defer s.metrics.inflight.Add(-1)
 
 	opts.Progress = f.observe
-	res, err := s.synthFn(f.runCtx, model, opts)
+	res, err := s.runLocal(f.runCtx, model, opts)
 	switch {
 	case err != nil:
 		f.err = err
@@ -162,4 +200,60 @@ func (s *Server) lead(f *flight, model memmodel.Model, opts synth.Options) {
 	default:
 		f.ss, f.err = s.store.Put(res)
 	}
+}
+
+// runLocal executes one engine run on this node. In race mode a cold run
+// on the default backend becomes a race: the enumerative and SAT-guided
+// backends start together, the first complete result wins (they are
+// byte-identical by the backend contract, so either is correct), and the
+// loser is cancelled. The winner's name lands in Result.Backend, hence
+// in the stored Manifest.Backend and the race_backend_wins metric.
+func (s *Server) runLocal(ctx context.Context, model memmodel.Model, opts synth.Options) (*synth.Result, error) {
+	const raceRival = "sat"
+	racing := s.raceBackends &&
+		(opts.Backend == "" || opts.Backend == synth.DefaultBackend)
+	if racing {
+		if _, err := synth.BackendByName(raceRival); err != nil {
+			racing = false
+		}
+	}
+	if !racing {
+		return s.synthFn(ctx, model, opts)
+	}
+
+	type outcome struct {
+		res *synth.Result
+		err error
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, 2)
+	for _, name := range []string{synth.DefaultBackend, raceRival} {
+		o := opts
+		o.Backend = name
+		go func() {
+			res, err := s.synthFn(raceCtx, model, o)
+			ch <- outcome{res, err}
+		}()
+	}
+	var winner, last outcome
+	for i := 0; i < 2; i++ {
+		oc := <-ch
+		if winner.res == nil && oc.err == nil && !oc.res.Stats.Interrupted {
+			winner = oc
+			// The loser's partial work is worthless (the winner's result
+			// is already complete); stop burning CPU on it. The loop
+			// still waits for it so no engine run outlives this call.
+			cancel()
+			continue
+		}
+		last = oc
+	}
+	if winner.res != nil {
+		s.metrics.raceWins.Add(winner.res.Backend, 1)
+		s.logf("backend race for model %s won by %s in %s",
+			model.Name(), winner.res.Backend, winner.res.Stats.Elapsed.Round(time.Millisecond))
+		return winner.res, nil
+	}
+	return last.res, last.err
 }

@@ -49,6 +49,7 @@ import (
 
 	"memsynth/internal/cat"
 	"memsynth/internal/catlint"
+	"memsynth/internal/cluster"
 	"memsynth/internal/harness"
 	"memsynth/internal/litmus"
 	"memsynth/internal/memmodel"
@@ -77,6 +78,23 @@ type Config struct {
 	// synthesis backend, backend fallback warnings). The daemon wires
 	// log.Printf; nil discards.
 	Logf func(format string, args ...any)
+	// Cluster, when non-nil, makes this server a cluster coordinator:
+	// cold synthesize requests are partitioned into shard jobs and
+	// distributed to registered workers (falling back to a local engine
+	// run when no workers are live), and the /v1/cluster/* worker API is
+	// mounted. The server owns neither the coordinator's lifecycle nor
+	// its store wiring — the daemon does.
+	Cluster *cluster.Coordinator
+	// Peer, when non-nil, is consulted on store misses before
+	// synthesizing (store.GetThrough): the cluster's shared cache tier.
+	// Worker nodes point it at the coordinator's suites API.
+	Peer store.Peer
+	// RaceBackends races the enumerative and SAT-guided backends on cold
+	// local synthesis runs when the client did not explicitly pick a
+	// backend: both run concurrently, the first complete result wins,
+	// the loser is cancelled, and the winner is recorded in the stored
+	// Manifest.Backend and the race_backend_wins metric.
+	RaceBackends bool
 }
 
 // DefaultMaxJobs is the engine-run concurrency bound when Config.MaxJobs
@@ -105,6 +123,10 @@ type metrics struct {
 	// backendReqs counts synthesize requests per selected backend
 	// (after defaulting, before cache lookup).
 	backendReqs *expvar.Map
+	// peerHits counts store misses served by the peer cache tier.
+	peerHits *expvar.Int
+	// raceWins counts cold-run backend races by winning backend.
+	raceWins *expvar.Map
 }
 
 func newMetrics() *metrics {
@@ -126,6 +148,9 @@ func newMetrics() *metrics {
 	m.lintWarnings = mk("model_lint_warnings")
 	m.backendReqs = new(expvar.Map).Init()
 	m.all.Set("synth_backend_requests", m.backendReqs)
+	m.peerHits = mk("peer_hits")
+	m.raceWins = new(expvar.Map).Init()
+	m.all.Set("race_backend_wins", m.raceWins)
 	return m
 }
 
@@ -138,6 +163,10 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 	lintOpts catlint.Options
+
+	cluster      *cluster.Coordinator
+	peer         store.Peer
+	raceBackends bool
 
 	logFn func(format string, args ...any)
 
@@ -160,18 +189,36 @@ func New(cfg Config) *Server {
 		models = memmodel.NewRegistry()
 	}
 	s := &Server{
-		store:    cfg.Store,
-		models:   models,
-		sem:      make(chan struct{}, maxJobs),
-		metrics:  newMetrics(),
-		mux:      http.NewServeMux(),
-		lintOpts: catlint.Options{Bound: cfg.LintBound},
-		logFn:    cfg.Logf,
-		synthFn:  synth.SynthesizeContext,
+		store:        cfg.Store,
+		models:       models,
+		sem:          make(chan struct{}, maxJobs),
+		metrics:      newMetrics(),
+		mux:          http.NewServeMux(),
+		lintOpts:     catlint.Options{Bound: cfg.LintBound},
+		logFn:        cfg.Logf,
+		synthFn:      synth.SynthesizeContext,
+		cluster:      cfg.Cluster,
+		peer:         cfg.Peer,
+		raceBackends: cfg.RaceBackends,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.flights = newFlightGroup()
 	s.jobs = newJobSet()
+
+	// Store-tier observability: LRU hit/miss/evict counters plus the
+	// on-disk footprint of the cold tier, sampled at /metrics read time.
+	s.metrics.all.Set("store_cache", expvar.Func(func() any { return s.store.Counters() }))
+	s.metrics.all.Set("store_bytes", expvar.Func(func() any {
+		n, err := s.store.DiskBytes()
+		if err != nil {
+			return -1
+		}
+		return n
+	}))
+	if s.cluster != nil {
+		s.metrics.all.Set("cluster", s.cluster.Metrics())
+		s.mux.Handle("/v1/cluster/", s.cluster)
+	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -185,6 +232,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/suites/{digest}", s.handleSuiteGet)
 	s.mux.HandleFunc("DELETE /v1/suites/{digest}", s.handleSuiteEvict)
 	s.mux.HandleFunc("GET /v1/suites/{digest}/detect", s.handleSuiteDetect)
+	s.mux.HandleFunc("GET /v1/suites/{digest}/bundle", s.handleSuiteBundle)
 	return s
 }
 
@@ -219,6 +267,9 @@ type SynthesizeRequest struct {
 	// Async enqueues a job and returns 202 with its ID instead of
 	// blocking until the suite is ready.
 	Async bool `json:"async,omitempty"`
+	// Priority orders cluster shard dispatch: "interactive" (default)
+	// ahead of "batch". Ignored outside coordinator mode.
+	Priority string `json:"priority,omitempty"`
 	// Axiom selects which suite the response carries (default "union").
 	Axiom string `json:"axiom,omitempty"`
 	// Format selects the response body: "json" (default, a summary) or
@@ -408,24 +459,62 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown format %q (want json or litmus)", req.Format)
 		return
 	}
+	pri, err := cluster.ParsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	digest := store.DigestModel(model, opts)
+	if s.cluster != nil {
+		s.cluster.RecordRequest(model, opts)
+	}
 
 	if req.Async {
-		job := s.startJob(model, opts, digest)
+		job := s.startJob(model, opts, digest, pri)
 		writeJSON(w, http.StatusAccepted, job.status())
 		return
 	}
 
-	ss, cached, err := s.synthesize(r.Context(), model, opts, digest, nil)
+	ss, cached, err := s.synthesize(r.Context(), model, opts, digest, pri, nil)
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			// Client went away; the response is written into the void.
+			return
+		}
+		var sat *cluster.SaturatedError
+		if errors.As(err, &sat) {
+			// Backpressure: the cluster dispatch queue is full. Tell the
+			// client when to come back rather than queueing unboundedly.
+			secs := int(sat.RetryAfter.Round(time.Second).Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.writeSuite(w, req, ss, cached)
+}
+
+// handleSuiteBundle serves a complete store entry (manifest plus every
+// suite text) in one response — the transfer unit of the cluster's peer
+// read-through cache tier (cluster.PeerClient fetches these).
+func (s *Server) handleSuiteBundle(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	ss, err := s.store.Get(digest)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no suite with digest %s", digest)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-Memsynth-Digest", digest)
+	writeJSON(w, http.StatusOK, cluster.SuiteBundle{Manifest: ss.Manifest, Texts: ss.Texts})
 }
 
 // writeSuite renders a synthesize response in the requested format.

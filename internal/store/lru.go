@@ -28,25 +28,32 @@ func (c *lruCache) get(digest string) (*StoredSuite, bool) {
 	return el.Value.(*lruEntry).ss, true
 }
 
-func (c *lruCache) add(digest string, ss *StoredSuite) {
+// add inserts (or refreshes) an entry and returns how many entries were
+// evicted to stay within capacity.
+func (c *lruCache) add(digest string, ss *StoredSuite) (evicted int) {
 	if el, ok := c.items[digest]; ok {
 		el.Value.(*lruEntry).ss = ss
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[digest] = c.order.PushFront(&lruEntry{digest: digest, ss: ss})
 	for c.order.Len() > c.max {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.items, back.Value.(*lruEntry).digest)
+		evicted++
 	}
+	return evicted
 }
 
-func (c *lruCache) remove(digest string) {
-	if el, ok := c.items[digest]; ok {
+// remove drops an entry, reporting whether it was present.
+func (c *lruCache) remove(digest string) bool {
+	el, ok := c.items[digest]
+	if ok {
 		c.order.Remove(el)
 		delete(c.items, digest)
 	}
+	return ok
 }
 
 func (c *lruCache) len() int { return c.order.Len() }

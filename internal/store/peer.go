@@ -1,0 +1,47 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Peer is a remote suite source consulted on local store misses — the
+// cluster's shared cache tier. A worker node points its Peer at the
+// coordinator's suites API, so a suite synthesized anywhere in the fleet
+// is an O(1) fetch everywhere else. Implementations return ErrNotFound
+// when the peer has no entry for the digest (the caller then falls back
+// to synthesizing).
+type Peer interface {
+	// FetchSuite retrieves the stored suite for digest from the peer.
+	FetchSuite(ctx context.Context, digest string) (*StoredSuite, error)
+}
+
+// GetThrough is Get with peer read-through: a local hit is served as
+// usual; on a local miss the peer is consulted, and a peer hit is
+// persisted locally (byte-identical texts, atomic first-wins write) so
+// subsequent reads are local. fromPeer reports that the suite crossed
+// the network. A nil peer makes GetThrough exactly Get.
+func (s *Store) GetThrough(ctx context.Context, digest string, p Peer) (ss *StoredSuite, fromPeer bool, err error) {
+	ss, err = s.Get(digest)
+	if err == nil {
+		return ss, false, nil
+	}
+	if !errors.Is(err, ErrNotFound) || p == nil {
+		return nil, false, err
+	}
+	ss, err = p.FetchSuite(ctx, digest)
+	if err != nil {
+		return nil, false, err
+	}
+	// Content addressing is the trust boundary: refuse a peer response
+	// whose manifest does not carry the digest we asked for.
+	if ss == nil || ss.Manifest == nil || ss.Manifest.Digest != digest {
+		return nil, false, fmt.Errorf("store: peer returned wrong digest for %s", digest)
+	}
+	stored, err := s.PutStored(ss)
+	if err != nil {
+		return nil, false, err
+	}
+	return stored, true, nil
+}

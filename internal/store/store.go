@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"memsynth/internal/synth"
 )
@@ -42,6 +43,52 @@ type Store struct {
 
 	mu    sync.Mutex
 	cache *lruCache
+
+	// Read-cache tier counters (see Counters): lookups served from the
+	// in-memory LRU, lookups that had to touch disk, and entries dropped
+	// from the cache (capacity pressure or explicit eviction).
+	cacheHits, cacheMisses, cacheEvictions atomic.Int64
+}
+
+// Counters is a snapshot of the store's in-memory read-cache activity,
+// for the daemon's /metrics (the cluster's peer read-through tier is
+// debugged against these).
+type Counters struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+}
+
+// Counters returns the current read-cache counter snapshot.
+func (s *Store) Counters() Counters {
+	return Counters{
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheEvictions: s.cacheEvictions.Load(),
+	}
+}
+
+// DiskBytes returns the total size of the stored objects on disk (suite
+// texts plus manifests). It walks the objects tree, so it is intended
+// for occasional observability reads, not hot paths.
+func (s *Store) DiskBytes() (int64, error) {
+	var total int64
+	err := filepath.WalkDir(objectsDir(s.dir), func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			// The entry raced an eviction; skip it.
+			return nil
+		}
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: disk bytes: %w", err)
+	}
+	return total, nil
 }
 
 // Open creates (if needed) and opens a store rooted at dir, with an
@@ -73,18 +120,27 @@ func (s *Store) Get(digest string) (*StoredSuite, error) {
 	s.mu.Lock()
 	if ss, ok := s.cache.get(digest); ok {
 		s.mu.Unlock()
+		s.cacheHits.Add(1)
 		return ss, nil
 	}
 	s.mu.Unlock()
+	s.cacheMisses.Add(1)
 
 	ss, err := s.load(digest)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.cache.add(digest, ss)
-	s.mu.Unlock()
+	s.cacheAdd(digest, ss)
 	return ss, nil
+}
+
+// cacheAdd inserts into the read cache under the store mutex, counting
+// any entries the insert pushed out.
+func (s *Store) cacheAdd(digest string, ss *StoredSuite) {
+	s.mu.Lock()
+	evicted := s.cache.add(digest, ss)
+	s.mu.Unlock()
+	s.cacheEvictions.Add(int64(evicted))
 }
 
 // load reads one entry from disk.
@@ -125,7 +181,17 @@ func (s *Store) Put(res *synth.Result) (*StoredSuite, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.PutStored(ss)
+}
+
+// PutStored persists an already-encoded suite — the peer read-through
+// path, where a fetched entry's byte-identical texts are written locally
+// verbatim. Like Put it is atomic and first-wins per digest.
+func (s *Store) PutStored(ss *StoredSuite) (*StoredSuite, error) {
 	digest := ss.Manifest.Digest
+	if len(digest) < 12 {
+		return nil, fmt.Errorf("store: put: malformed digest %q", digest)
+	}
 
 	staging, err := os.MkdirTemp(tmpDir(s.dir), digest[:12]+"-*")
 	if err != nil {
@@ -150,16 +216,12 @@ func (s *Store) Put(res *synth.Result) (*StoredSuite, error) {
 		// A concurrent Put of the same digest won the rename; serve the
 		// winner (contents are equivalent by content addressing).
 		if existing, loadErr := s.load(digest); loadErr == nil {
-			s.mu.Lock()
-			s.cache.add(digest, existing)
-			s.mu.Unlock()
+			s.cacheAdd(digest, existing)
 			return existing, nil
 		}
 		return nil, fmt.Errorf("store: put: %w", err)
 	}
-	s.mu.Lock()
-	s.cache.add(digest, ss)
-	s.mu.Unlock()
+	s.cacheAdd(digest, ss)
 	return ss, nil
 }
 
@@ -196,8 +258,11 @@ func (s *Store) List() ([]*Manifest, error) {
 // returns ErrNotFound when no entry exists.
 func (s *Store) Evict(digest string) error {
 	s.mu.Lock()
-	s.cache.remove(digest)
+	removed := s.cache.remove(digest)
 	s.mu.Unlock()
+	if removed {
+		s.cacheEvictions.Add(1)
+	}
 	dir := s.entryDir(digest)
 	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
 		return ErrNotFound

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -286,4 +287,157 @@ func BenchmarkStoreGet(b *testing.B) {
 			}
 		}
 	})
+}
+
+// memPeer is an in-memory Peer backed by another Store.
+type memPeer struct {
+	src   *Store
+	calls int
+}
+
+func (p *memPeer) FetchSuite(_ context.Context, digest string) (*StoredSuite, error) {
+	p.calls++
+	return p.src.Get(digest)
+}
+
+// TestGetThroughPeer: a local miss is served from the peer, persisted
+// locally byte-identically, and subsequent reads stay local.
+func TestGetThroughPeer(t *testing.T) {
+	res := synthesizeSC(t, 4)
+	remote, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest(res.Model, res.ModelDigest, res.Options)
+
+	local, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := &memPeer{src: remote}
+
+	ss, fromPeer, err := local.GetThrough(context.Background(), digest, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromPeer || peer.calls != 1 {
+		t.Errorf("first read: fromPeer=%t calls=%d, want true/1", fromPeer, peer.calls)
+	}
+	want, err := remote.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, text := range want.Texts {
+		if got := ss.Texts[name]; got != text {
+			t.Errorf("peer-fetched suite %q differs from origin bytes", name)
+		}
+	}
+
+	// Now persisted locally: the peer must not be consulted again, even
+	// with a cold in-memory cache.
+	local2, err := Open(local.Dir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fromPeer, err = local2.GetThrough(context.Background(), digest, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromPeer || peer.calls != 1 {
+		t.Errorf("second read: fromPeer=%t calls=%d, want false/1", fromPeer, peer.calls)
+	}
+
+	// A digest neither side has propagates ErrNotFound.
+	if _, _, err := local.GetThrough(context.Background(), strings.Repeat("0", 64), peer); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double miss: %v, want ErrNotFound", err)
+	}
+	// A nil peer degrades to plain Get.
+	if _, _, err := local.GetThrough(context.Background(), strings.Repeat("1", 64), nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("nil peer: %v, want ErrNotFound", err)
+	}
+}
+
+// badPeer returns a suite under the wrong digest.
+type badPeer struct{ ss *StoredSuite }
+
+func (p *badPeer) FetchSuite(context.Context, string) (*StoredSuite, error) { return p.ss, nil }
+
+func TestGetThroughRejectsWrongDigest(t *testing.T) {
+	res := synthesizeSC(t, 3)
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.GetThrough(context.Background(), strings.Repeat("2", 64), &badPeer{ss: ss})
+	if err == nil || !strings.Contains(err.Error(), "wrong digest") {
+		t.Errorf("wrong-digest peer response accepted: %v", err)
+	}
+}
+
+// TestCountersAndDiskBytes: the read-cache tier counters and the on-disk
+// gauge move as expected.
+func TestCountersAndDiskBytes(t *testing.T) {
+	res := synthesizeSC(t, 3)
+	s, err := Open(t.TempDir(), 1) // capacity 1 forces LRU eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest(res.Model, res.ModelDigest, res.Options)
+
+	if _, err := s.Get(digest); err != nil { // warm (Put cached it): hit
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.CacheHits != 1 || c.CacheMisses != 0 {
+		t.Errorf("after warm get: %+v, want 1 hit / 0 misses", c)
+	}
+
+	// A second entry at capacity 1 evicts the first; re-reading it is a
+	// cache miss served from disk.
+	m, err := memmodel.ByName("tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := synth.Synthesize(m, synth.Options{MaxEvents: 3})
+	if _, err := s.Put(res2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(digest); err != nil {
+		t.Fatal(err)
+	}
+	c = s.Counters()
+	if c.CacheMisses != 1 {
+		t.Errorf("CacheMisses = %d, want 1", c.CacheMisses)
+	}
+	if c.CacheEvictions < 1 {
+		t.Errorf("CacheEvictions = %d, want >= 1", c.CacheEvictions)
+	}
+
+	bytes, err := s.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes <= 0 {
+		t.Errorf("DiskBytes = %d, want > 0", bytes)
+	}
+	if err := s.Evict(digest); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= bytes {
+		t.Errorf("DiskBytes after evict = %d, want < %d", after, bytes)
+	}
 }
