@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint bench bench-paper fuzz serve cluster cluster-test
+.PHONY: check build test vet race lint bench bench-paper fuzz serve cluster cluster-test stress
 
 check: vet build race lint
 
@@ -32,19 +32,30 @@ race:
 # per model, written as machine-readable JSON (committed as BENCH_synth.json
 # so the perf trajectory is comparable across PRs), then the per-backend
 # comparison rows (enum vs sat, including the deadline-bounded case only
-# the sat backend completes) merged in as "backend_cases". BENCH_SHORT=1
-# shrinks the bounds for quick log-only CI runs; BENCH_OUT redirects the
-# output.
+# the sat backend completes) merged in as "backend_cases", and finally the
+# native stress-execution throughput rows merged in as "stress_cases".
+# BENCH_SHORT=1 shrinks the bounds for quick log-only CI runs; BENCH_OUT
+# redirects the output.
 BENCH_OUT ?= BENCH_synth.json
 bench:
 	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
 		$(GO) test -count=1 -run '^TestBenchSnapshot$$' -v ./internal/synth
 	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
 		$(GO) test -count=1 -timeout 30m -run '^TestBenchBackends$$' -v ./internal/synth/satgen
+	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
+		$(GO) test -count=1 -run '^TestBenchStress$$' -v ./internal/stress
 
 # The original package-level micro-benchmarks (paper-facing API).
 bench-paper:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The native stress executor under the race detector: the compile/run/
+# decode machinery plus the harness-level differential soundness gate
+# (atomic-mode runs of the seed sc/tso suites observe only model-allowed
+# outcomes). Plain mode is exercised separately without -race by design.
+stress:
+	$(GO) test -race -count=1 -v ./internal/stress
+	$(GO) test -race -count=1 -run '^TestStress' -v ./internal/harness
 
 # Short coverage-guided fuzz of the litmus text parser and the cat model
 # compiler (CI runs the same smoke); lengthen with FUZZTIME=5m for a real

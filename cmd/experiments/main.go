@@ -13,6 +13,8 @@
 //	experiments -exp fig20 -bound 4      # SCC
 //	experiments -exp c11 -bound 4
 //	experiments -exp diy -bound 4        # diy baseline comparison
+//	experiments -exp stress -bound 4     # native stress execution + cross-check
+//	experiments -exp faults -stress      # fault matrix with a host row
 //	experiments -exp all -bound 4
 package main
 
@@ -41,7 +43,22 @@ var (
 	storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
 	modelFile = flag.String("model-file", "", "compile and register a cat-style model definition; run it with -exp custom")
 	nolint    = flag.Bool("nolint", false, "skip the static analysis of -model-file definitions")
+
+	stressRun   = flag.Bool("stress", false, "stress-execute synthesized suites natively on this host (adds a host row to -exp faults; enables -exp stress)")
+	stressIters = flag.Int("stress-iters", 0, "iterations per stress-executed test (0 = default)")
+	stressMode  = flag.String("stress-mode", "atomic", "stress compile scheme: atomic or plain")
+	stressSeed  = flag.Int64("stress-seed", 0, "stress schedule seed (0 picks one; the seed used is printed)")
 )
+
+// stressOptions resolves the shared -stress-* flags.
+func stressOptions() memsynth.StressOptions {
+	mode, err := memsynth.ParseStressMode(*stressMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return memsynth.StressOptions{Mode: mode, Iterations: *stressIters, Seed: *stressSeed}
+}
 
 // customModel is the name of the -model-file model, once registered.
 var customModel string
@@ -184,6 +201,7 @@ func main() {
 		"diy":    diyCompare,
 		"random": randomCompare,
 		"faults": faultMatrix,
+		"stress": stressSuites,
 		"custom": func(b int) {
 			if customModel == "" {
 				fmt.Fprintln(os.Stderr, "-exp custom needs -model-file")
@@ -194,7 +212,7 @@ func main() {
 	}
 	switch *exp {
 	case "list":
-		fmt.Println("experiments: table2 table4 fig13 fig16 fig20 c11 hsa armv8 diy random faults custom all")
+		fmt.Println("experiments: table2 table4 fig13 fig16 fig20 c11 hsa armv8 diy random faults stress custom all")
 	case "all":
 		for _, name := range []string{"table2", "table4", "fig13", "fig16", "fig20", "c11", "hsa", "armv8", "diy", "random", "faults"} {
 			fmt.Printf("\n===== %s =====\n", name)
@@ -356,7 +374,9 @@ func randomCompare(bound int) {
 }
 
 // faultMatrix runs the synthesized suite against the fault-injected x86-TSO
-// machines — the black-box testing loop the suites exist for.
+// machines — the black-box testing loop the suites exist for. With
+// -stress, the matrix gains a host row: the suite is also stress-executed
+// natively and cross-checked against the model.
 func faultMatrix(bound int) {
 	if bound < 6 {
 		bound = 6 // SB+mfences (needed for the fence fault) has 6 instructions
@@ -368,14 +388,59 @@ func faultMatrix(bound int) {
 		tests = append(tests, e.Test)
 	}
 	fmt.Printf("suite: %d synthesized minimal tests (bound %d)\n", len(tests), bound)
-	for _, row := range memsynth.FaultDetectionMatrix(tso, tests) {
+	rows := memsynth.FaultDetectionMatrix(tso, tests)
+	if *stressRun {
+		var err error
+		var srep *memsynth.StressSuiteReport
+		rows, srep, err = memsynth.FaultDetectionMatrixStress(runCtx, tso, tests, stressOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer fmt.Printf("host run: %d tests, %d iterations, seed %d, mode %s\n",
+			srep.TestsRun, srep.Iterations, srep.Seed, srep.Mode)
+	}
+	for _, row := range rows {
 		switch {
+		case row.IsHost():
+			fmt.Printf("  %-16s forbidden outcomes observed: %v\n", row.Machine, row.Detected)
 		case row.Fault.String() == "none":
 			fmt.Printf("  %-16s false positives: %v\n", "correct machine", row.Detected)
 		case row.Detected:
 			fmt.Printf("  %-16s DETECTED by %v\n", row.Fault, row.FirstTest)
 		default:
 			fmt.Printf("  %-16s NOT DETECTED\n", row.Fault)
+		}
+	}
+}
+
+// stressSuites synthesizes the sc and tso suites and stress-executes them
+// natively, reporting throughput and the model cross-check — the "run the
+// synthesized suite on real hardware" leg of the paper's workflow.
+func stressSuites(bound int) {
+	opts := stressOptions()
+	for _, name := range []string{"sc", "tso"} {
+		model, _ := memsynth.ModelByName(name)
+		res := synthesize(model, memsynth.Options{MaxEvents: bound})
+		var tests []*memsynth.Test
+		for _, e := range res.Union.Entries {
+			tests = append(tests, e.Test)
+		}
+		rep := memsynth.StressSuite(runCtx, model, tests, opts)
+		fmt.Printf("%s @%d: %d tests, %d iterations in %v, seed %d, mode %s\n",
+			name, bound, rep.TestsRun, rep.Iterations,
+			rep.Elapsed.Round(time.Millisecond), rep.Seed, rep.Mode)
+		for _, r := range rep.Reports {
+			fmt.Printf("  %-24s %8d iters  %7.0f iters/s  %d outcomes\n",
+				r.Test, r.Iterations, r.IterationsPerSecond(), len(r.Outcomes))
+		}
+		if rep.Unexplained > 0 {
+			fmt.Printf("  UNEXPLAINED: %d iterations observed model-forbidden outcomes\n", rep.Unexplained)
+			for _, v := range rep.Violations {
+				fmt.Printf("    %v\n", v)
+			}
+		} else {
+			fmt.Printf("  all observed outcomes allowed by %s\n", name)
 		}
 	}
 }

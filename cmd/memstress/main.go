@@ -1,0 +1,201 @@
+// Command memstress stress-executes litmus tests natively on this host —
+// the litmus7-style tool that closes the loop from synthesized suites to
+// real hardware. Tests come from litmus files (or stdin) or from a suite
+// stored by memsynthd / memsynth -store.
+//
+// Usage:
+//
+//	memstress [flags] [file.litmus ...]        # files or stdin
+//	memstress -store DIR -digest D [-axiom A]  # a stored suite
+//
+// Flags:
+//
+//	-mode atomic|plain   compile scheme (default atomic: race-clean and
+//	                     sound; plain surfaces real reorderings and is
+//	                     refused under the race detector)
+//	-iters N  -batch N   per-test iteration count and arena batch size
+//	-seed N              schedule seed (0 picks one; the seed used is
+//	                     always reported, so any run can be replayed)
+//	-model NAME          cross-check observed outcomes against this model;
+//	                     exit 1 if any observed outcome is forbidden
+//	-json                emit the full reports as JSON
+//
+// In atomic mode a forbidden outcome is a genuine soundness bug; in plain
+// mode it is an observation about this host's memory model.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"memsynth"
+	"memsynth/internal/store"
+)
+
+var (
+	modeN    = flag.String("mode", "atomic", "compile scheme: atomic or plain")
+	iters    = flag.Int("iters", 0, "iterations per test (0 = default)")
+	batch    = flag.Int("batch", 0, "iterations per arena batch (0 = default)")
+	seed     = flag.Int64("seed", 0, "schedule seed (0 picks a time-derived seed)")
+	modelN   = flag.String("model", "", "cross-check outcomes against this model (exit 1 on forbidden outcomes)")
+	jsonOut  = flag.Bool("json", false, "emit full reports as JSON")
+	storeDir = flag.String("store", "", "content-addressed suite store directory")
+	digest   = flag.String("digest", "", "run the stored suite with this digest (requires -store)")
+	axiom    = flag.String("axiom", "", "sub-suite of the stored suite (default: union)")
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memstress:", err)
+	os.Exit(1)
+}
+
+// loadTests gathers the tests to run: a stored suite when -digest is
+// given, otherwise the positional litmus files (stdin when none).
+func loadTests() []*memsynth.Test {
+	if *digest != "" {
+		if *storeDir == "" {
+			fatal(errors.New("-digest requires -store"))
+		}
+		st, err := store.Open(*storeDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		ss, err := st.Get(*digest)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := ss.Result()
+		if err != nil {
+			fatal(err)
+		}
+		suite := res.Union
+		if *axiom != "" && *axiom != store.UnionSuite {
+			s, ok := res.PerAxiom[*axiom]
+			if !ok {
+				fatal(fmt.Errorf("suite %s has no axiom %q", *digest, *axiom))
+			}
+			suite = s
+		}
+		tests := make([]*memsynth.Test, 0, len(suite.Entries))
+		for _, e := range suite.Entries {
+			tests = append(tests, e.Test)
+		}
+		return tests
+	}
+	var tests []*memsynth.Test
+	parse := func(r io.Reader, name string) {
+		specs, err := memsynth.ParseSuite(r)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for _, sp := range specs {
+			tests = append(tests, sp.Test)
+		}
+	}
+	if flag.NArg() == 0 {
+		parse(os.Stdin, "stdin")
+		return tests
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		parse(f, path)
+		f.Close()
+	}
+	return tests
+}
+
+func printReport(rep *memsynth.StressReport, checked bool) {
+	fmt.Printf("%s: %d iterations in %v (%.0f iters/s), %d outcomes, seed %d\n",
+		rep.Test, rep.Iterations, rep.Elapsed.Round(time.Microsecond),
+		rep.IterationsPerSecond(), len(rep.Outcomes), rep.Seed)
+	for _, oc := range rep.Outcomes {
+		verdict := ""
+		if checked {
+			verdict = "  allowed"
+			if !oc.Allowed {
+				verdict = "  FORBIDDEN"
+			}
+		}
+		fmt.Printf("  %8d  %s%s\n", oc.Count, oc.Key, verdict)
+	}
+	if rep.Corrupt > 0 {
+		fmt.Printf("  corrupt: %d\n", rep.Corrupt)
+	}
+}
+
+func main() {
+	flag.Parse()
+	mode, err := memsynth.ParseStressMode(*modeN)
+	if err != nil {
+		fatal(err)
+	}
+	opts := memsynth.StressOptions{Mode: mode, Iterations: *iters, Batch: *batch, Seed: *seed}
+	tests := loadTests()
+	if len(tests) == 0 {
+		fatal(errors.New("no tests to run"))
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if *modelN != "" {
+		model, err := memsynth.ModelByName(*modelN)
+		if err != nil {
+			fatal(err)
+		}
+		rep := memsynth.StressSuite(ctx, model, tests, opts)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatal(err)
+			}
+		} else {
+			for _, r := range rep.Reports {
+				printReport(r, true)
+			}
+			fmt.Printf("suite: %d tests, %d iterations, %d skipped, seed %d, mode %s\n",
+				rep.TestsRun, rep.Iterations, rep.Skipped, rep.Seed, rep.Mode)
+			for _, v := range rep.Violations {
+				fmt.Printf("violation: %v\n", v)
+			}
+		}
+		if rep.Unexplained > 0 {
+			fmt.Fprintf(os.Stderr, "memstress: %d iterations observed outcomes forbidden by %s\n",
+				rep.Unexplained, *modelN)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reports []*memsynth.StressReport
+	for _, t := range tests {
+		if ctx.Err() != nil {
+			break
+		}
+		rep, err := memsynth.StressTestContext(ctx, t, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", t.Name, err))
+		}
+		reports = append(reports, rep)
+		if !*jsonOut {
+			printReport(rep, false)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fatal(err)
+		}
+	}
+}

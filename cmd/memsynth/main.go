@@ -189,7 +189,9 @@ func main() {
 	for i, e := range suite.Entries {
 		switch *format {
 		case "litmus":
-			fmt.Printf("# %s/%s test %d\n%sforbid-witness: %s\n\n",
+			// The witness rides as a comment so the output reparses with
+			// ParseSuite (and so pipes into memstress), same as -out files.
+			fmt.Printf("# %s/%s test %d\n%s# forbid-witness: %s\n\n",
 				model.Name(), suite.Axiom, i+1, memsynth.FormatTest(e.Test), e.Exec.OutcomeString())
 		case "asm":
 			target, ok := memsynth.RenderTargetFor(model.Name())

@@ -18,6 +18,9 @@
 //	GET    /v1/suites/{digest}/bundle  full store entry (peer cache tier)
 //	DELETE /v1/suites/{digest}         evict
 //	GET    /v1/suites/{digest}/detect  x86-TSO fault-detection matrix
+//	POST   /v1/suites/{digest}/run     stress-execute the suite natively on
+//	                                   this host (async job; 202 + job ID)
+//	GET    /v1/suites/{digest}/render  per-target listings (?target=go,...)
 //	GET    /v1/models                  visible models (built-in + registered)
 //	POST   /v1/models                  register a cat model definition
 //	POST   /v1/models/lint             dry-run lint of a definition

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"memsynth/internal/exec"
 	"memsynth/internal/litmus"
@@ -151,26 +152,42 @@ func RunSuiteContext(ctx context.Context, m memmodel.Model, tests []*litmus.Test
 
 // DetectionRow records which faults a suite detects.
 type DetectionRow struct {
+	// Machine labels the implementation under test: "sim:<fault>" rows
+	// are the tsosim variants; "host:<mode>" is the native stress
+	// executor running on real hardware ("" is read as the simulator for
+	// rows built by older callers).
+	Machine  string
 	Fault    tsosim.Fault
 	Detected bool
 	// FirstTest is the first test exposing the fault (nil if undetected).
 	FirstTest *litmus.Test
 }
 
+// IsHost reports whether the row ran on the native stress executor
+// rather than a simulator variant.
+func (r DetectionRow) IsHost() bool { return strings.HasPrefix(r.Machine, "host:") }
+
 // DetectionSummary is the serialization-friendly projection of a
-// DetectionRow: fault and first detecting test flattened to strings, with
-// JSON tags for API responses (memsynthd's detect endpoint).
+// DetectionRow: machine, fault, and first detecting test flattened to
+// strings, with JSON tags for API responses (memsynthd's detect
+// endpoint).
 type DetectionSummary struct {
-	Fault     string `json:"fault"`
+	Machine   string `json:"machine,omitempty"`
+	Fault     string `json:"fault,omitempty"`
 	Detected  bool   `json:"detected"`
 	FirstTest string `json:"first_test,omitempty"`
 }
 
 // Summarize projects detection rows onto their serializable summaries.
+// Host rows carry no fault label — their Detected flag means "the real
+// machine exhibited a model-forbidden outcome".
 func Summarize(rows []DetectionRow) []DetectionSummary {
 	out := make([]DetectionSummary, len(rows))
 	for i, r := range rows {
-		out[i] = DetectionSummary{Fault: r.Fault.String(), Detected: r.Detected}
+		out[i] = DetectionSummary{Machine: r.Machine, Detected: r.Detected}
+		if !r.IsHost() {
+			out[i].Fault = r.Fault.String()
+		}
 		if r.FirstTest != nil {
 			out[i].FirstTest = r.FirstTest.String()
 		}
@@ -203,7 +220,7 @@ func DetectionMatrixContext(ctx context.Context, m memmodel.Model, tests []*litm
 		if report.Interrupted {
 			return rows, ctx.Err()
 		}
-		row := DetectionRow{Fault: fault, Detected: report.Detected()}
+		row := DetectionRow{Machine: "sim:" + fault.String(), Fault: fault, Detected: report.Detected()}
 		if len(report.Violations) > 0 {
 			row.FirstTest = report.Violations[0].Test
 		}

@@ -1,0 +1,162 @@
+// Native stress execution as an implementation under test: the harness
+// half of internal/stress. Where the tsosim machines explore every
+// interleaving of an abstract model, StressMachine runs the test for real
+// on the host and reports the outcomes it happened to observe — the
+// paper's "fed into any existing testing infrastructure" made literal.
+// Cross-checking marks each observed outcome against the axiomatic
+// model's allowed set; in atomic mode a forbidden observation is a
+// genuine soundness failure, which is what the CI differential gate pins.
+package harness
+
+import (
+	"context"
+	"time"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/stress"
+	"memsynth/internal/tsosim"
+)
+
+// StressMachine adapts the native stress executor into a Machine, so
+// every suite-level entry point (Check, RunSuite, the detection matrix)
+// can target the host exactly as it targets the simulator. Note the
+// asymmetry: a simulator Machine is exhaustive, a stress Machine reports
+// only the outcomes its iterations happened to hit.
+func StressMachine(opts stress.Options) Machine {
+	return func(t *litmus.Test) (map[string]tsosim.Outcome, error) {
+		rep, err := stress.Run(t, opts)
+		if err != nil {
+			return nil, err
+		}
+		return rep.MachineOutcomes(), nil
+	}
+}
+
+// CrossCheck marks every outcome of a stress report against the model's
+// allowed set, sets Checked and Unexplained on the report, and returns
+// one Violation per observed-but-forbidden outcome. t must be the test
+// the report came from.
+func CrossCheck(m memmodel.Model, t *litmus.Test, rep *stress.Report) []Violation {
+	allowed := allowedKeys(m, t)
+	rep.Checked = true
+	rep.Unexplained = 0
+	var out []Violation
+	for i := range rep.Outcomes {
+		oc := &rep.Outcomes[i]
+		oc.Allowed = allowed[oc.Key]
+		if !oc.Allowed {
+			rep.Unexplained += oc.Count
+			out = append(out, Violation{Test: t, Outcome: oc.Outcome})
+		}
+	}
+	return out
+}
+
+// StressProgress is one per-test progress observation of a stress suite
+// run.
+type StressProgress struct {
+	// Test is the name of the test just executed.
+	Test string
+	// TestsRun counts tests executed so far; Total is the suite size.
+	TestsRun, Total int
+	// Iterations accumulates iterations across the suite so far.
+	Iterations int64
+	// Unexplained accumulates observed-but-forbidden iteration counts.
+	Unexplained int64
+	// Violations counts distinct forbidden outcomes observed so far.
+	Violations int
+}
+
+// StressSuiteReport is the result of stress-executing a whole suite and
+// cross-checking every observation against the model.
+type StressSuiteReport struct {
+	SuiteReport
+	// Mode and Seed replay the run (every test used the same seed, so
+	// one number reproduces the whole suite's schedule).
+	Mode string
+	Seed int64
+	// Reports holds the per-test histograms, in suite order (skipped
+	// tests have no entry).
+	Reports []*stress.Report
+	// Iterations sums iterations across all tests; Unexplained sums
+	// iteration counts whose outcome the model forbids.
+	Iterations  int64
+	Unexplained int64
+	// Elapsed is the wall-clock time of the whole suite run.
+	Elapsed time.Duration
+}
+
+// RunStressSuite stress-executes every test of the suite on the host and
+// cross-checks observed outcomes against m. The run stops between tests
+// when ctx is done (Interrupted set); tests the executor refuses are
+// counted as skipped. progress, when non-nil, is called after each test.
+func RunStressSuite(ctx context.Context, m memmodel.Model, tests []*litmus.Test, opts stress.Options, progress func(StressProgress)) *StressSuiteReport {
+	t0 := time.Now()
+	// Fix the seed up front so every per-test report shares it and the
+	// suite run is replayable from the report alone.
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano() | 1
+	}
+	out := &StressSuiteReport{Mode: opts.Mode.String(), Seed: opts.Seed}
+	for _, t := range tests {
+		if ctx.Err() != nil {
+			out.Interrupted = true
+			break
+		}
+		rep, err := stress.RunContext(ctx, t, opts)
+		if err != nil {
+			out.Skipped++
+			continue
+		}
+		violations := CrossCheck(m, t, rep)
+		out.TestsRun++
+		out.Reports = append(out.Reports, rep)
+		out.Iterations += rep.Iterations
+		out.Unexplained += rep.Unexplained
+		if rep.Interrupted {
+			out.Interrupted = true
+		}
+		if len(violations) > 0 {
+			out.DetectingTests++
+			out.Violations = append(out.Violations, violations...)
+		}
+		if progress != nil {
+			progress(StressProgress{
+				Test:        t.Name,
+				TestsRun:    out.TestsRun,
+				Total:       len(tests),
+				Iterations:  out.Iterations,
+				Unexplained: out.Unexplained,
+				Violations:  len(out.Violations),
+			})
+		}
+	}
+	out.Elapsed = time.Since(t0)
+	return out
+}
+
+// HostMachineName labels the native stress executor in detection rows.
+func HostMachineName(mode stress.Mode) string { return "host:" + mode.String() }
+
+// DetectionMatrixStressContext extends the fault-detection matrix with a
+// live row: after the simulator variants, the suite is stress-executed on
+// the host and cross-checked, so the matrix answers both "does the suite
+// catch the seeded bugs?" and "does the real machine stay inside the
+// model?" in one table. The host row's Detected means forbidden outcomes
+// were observed on this machine — expected false in atomic mode.
+func DetectionMatrixStressContext(ctx context.Context, m memmodel.Model, tests []*litmus.Test, opts stress.Options) ([]DetectionRow, *StressSuiteReport, error) {
+	rows, err := DetectionMatrixContext(ctx, m, tests)
+	if err != nil {
+		return rows, nil, err
+	}
+	srep := RunStressSuite(ctx, m, tests, opts, nil)
+	if srep.Interrupted && ctx.Err() != nil {
+		return rows, srep, ctx.Err()
+	}
+	row := DetectionRow{Machine: HostMachineName(opts.Mode), Detected: srep.Detected()}
+	if len(srep.Violations) > 0 {
+		row.FirstTest = srep.Violations[0].Test
+	}
+	return append(rows, row), srep, nil
+}

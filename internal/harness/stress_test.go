@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/memmodel"
+	"memsynth/internal/stress"
+	"memsynth/internal/synth"
+	"memsynth/internal/tsosim"
+)
+
+// TestStressSoundnessSeedSuites is the differential soundness gate: the
+// synthesized sc and tso suites, stress-executed on this host in atomic
+// mode, must observe only model-allowed outcomes. Atomic mode compiles to
+// sequentially consistent Go atomics, so any forbidden observation is a
+// real bug in the executor, the model, or the engine. CI runs this under
+// the race detector.
+func TestStressSoundnessSeedSuites(t *testing.T) {
+	for _, m := range []memmodel.Model{memmodel.SC(), memmodel.TSO()} {
+		res := synth.Synthesize(m, synth.Options{MaxEvents: 4})
+		tests := make([]*litmus.Test, 0, len(res.Union.Entries))
+		for _, e := range res.Union.Entries {
+			tests = append(tests, e.Test)
+		}
+		if len(tests) == 0 {
+			t.Fatalf("%s: empty seed suite", m.Name())
+		}
+		rep := RunStressSuite(context.Background(), m, tests,
+			stress.Options{Iterations: 200, Batch: 64, Seed: 1}, nil)
+		if rep.TestsRun != len(tests) || rep.Skipped != 0 {
+			t.Fatalf("%s: ran %d of %d tests (%d skipped)", m.Name(), rep.TestsRun, len(tests), rep.Skipped)
+		}
+		if rep.Iterations == 0 {
+			t.Fatalf("%s: no iterations executed", m.Name())
+		}
+		for _, r := range rep.Reports {
+			if len(r.Outcomes) == 0 {
+				t.Fatalf("%s/%s: empty outcome histogram", m.Name(), r.Test)
+			}
+			if !r.Checked {
+				t.Fatalf("%s/%s: report not cross-checked", m.Name(), r.Test)
+			}
+		}
+		if len(rep.Violations) != 0 || rep.Unexplained != 0 {
+			t.Fatalf("%s: atomic-mode stress observed %d forbidden outcomes (%d iterations unexplained): %v",
+				m.Name(), len(rep.Violations), rep.Unexplained, rep.Violations[0])
+		}
+	}
+}
+
+// TestStressUnexplainedPath pins the observed-but-forbidden path without
+// needing real hardware to misbehave: outcomes from the fence-ignoring
+// simulator variant stand in for a defective host, and the cross-check
+// must flag them. SB+mfences forbids the both-reads-stale outcome; a
+// machine that ignores mfence exhibits it.
+func TestStressUnexplainedPath(t *testing.T) {
+	sb := litmus.New("SB+mfences", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FMFence), litmus.R(1)},
+		{litmus.W(1), litmus.F(litmus.FMFence), litmus.R(0)},
+	})
+	faulty, err := tsosim.RunFaulty(sb, tsosim.FaultIgnoreFence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &stress.Report{Test: sb.Name, Mode: "atomic", Seed: 1}
+	for k, o := range faulty {
+		rep.Outcomes = append(rep.Outcomes, stress.OutcomeCount{Key: k, Outcome: o, Count: 10})
+		rep.Iterations += 10
+	}
+	violations := CrossCheck(memmodel.TSO(), sb, rep)
+	if !rep.Checked {
+		t.Fatal("report not marked checked")
+	}
+	if len(violations) == 0 || rep.Unexplained == 0 {
+		t.Fatal("fence-ignoring outcomes were not flagged as unexplained")
+	}
+	for _, oc := range rep.Outcomes {
+		if !oc.Allowed && oc.Count != 10 {
+			t.Fatalf("forbidden outcome %q has count %d", oc.Key, oc.Count)
+		}
+	}
+	// The correct machine's outcomes, in contrast, are fully explained.
+	good, err := tsosim.Run(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := &stress.Report{Test: sb.Name, Mode: "atomic", Seed: 1}
+	for k, o := range good {
+		rep2.Outcomes = append(rep2.Outcomes, stress.OutcomeCount{Key: k, Outcome: o, Count: 1})
+		rep2.Iterations++
+	}
+	if v := CrossCheck(memmodel.TSO(), sb, rep2); len(v) != 0 || rep2.Unexplained != 0 {
+		t.Fatalf("correct-machine outcomes flagged unexplained: %v", v)
+	}
+}
+
+// TestStressMachineAdapter runs a single test through the Machine
+// adapter and the generic Check entry point.
+func TestStressMachineAdapter(t *testing.T) {
+	mp := litmus.New("MP+mfences", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FMFence), litmus.W(1)},
+		{litmus.R(1), litmus.F(litmus.FMFence), litmus.R(0)},
+	})
+	violations, err := Check(memmodel.TSO(), mp,
+		StressMachine(stress.Options{Iterations: 300, Batch: 64, Seed: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("atomic stress machine exhibited forbidden outcomes: %v", violations)
+	}
+}
+
+// TestStressDetectionMatrix checks the matrix's host row: the simulator
+// fault rows behave as before and the appended host row is clean in
+// atomic mode.
+func TestStressDetectionMatrix(t *testing.T) {
+	res := synth.Synthesize(memmodel.TSO(), synth.Options{MaxEvents: 4})
+	tests := make([]*litmus.Test, 0, len(res.Union.Entries))
+	for _, e := range res.Union.Entries {
+		tests = append(tests, e.Test)
+	}
+	rows, srep, err := DetectionMatrixStressContext(context.Background(), memmodel.TSO(), tests,
+		stress.Options{Iterations: 150, Batch: 64, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // none + 5 faults + host
+		t.Fatalf("matrix has %d rows, want 7", len(rows))
+	}
+	host := rows[len(rows)-1]
+	if !host.IsHost() || host.Machine != "host:atomic" {
+		t.Fatalf("last row is %+v, want the host row", host)
+	}
+	if host.Detected {
+		t.Fatalf("host row detected forbidden outcomes: %v", srep.Violations)
+	}
+	if srep.Iterations == 0 || len(srep.Reports) != len(tests) {
+		t.Fatalf("host suite run incomplete: %d iterations, %d reports", srep.Iterations, len(srep.Reports))
+	}
+	sum := Summarize(rows)
+	if sum[len(sum)-1].Machine != "host:atomic" || sum[len(sum)-1].Fault != "" {
+		t.Fatalf("host summary row malformed: %+v", sum[len(sum)-1])
+	}
+	if sum[0].Fault != "none" || sum[0].Machine != "sim:none" {
+		t.Fatalf("first summary row malformed: %+v", sum[0])
+	}
+}

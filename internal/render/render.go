@@ -31,6 +31,9 @@ const (
 	ARM
 	// C11 renders atomic_load_explicit / atomic_store_explicit source.
 	C11
+	// Go renders sync/atomic source mirroring the internal/stress atomic
+	// compile scheme (every access seq-cst, fences as swap-on-sink).
+	Go
 )
 
 func (t Target) String() string {
@@ -43,8 +46,28 @@ func (t Target) String() string {
 		return "arm"
 	case C11:
 		return "c11"
+	case Go:
+		return "go"
 	}
 	return fmt.Sprintf("Target(%d)", uint8(t))
+}
+
+// ParseTarget parses a target name as accepted by the CLIs and the
+// render endpoint: x86 | power | arm | c11 | go.
+func ParseTarget(s string) (Target, error) {
+	switch s {
+	case "x86":
+		return X86, nil
+	case "power", "ppc":
+		return Power, nil
+	case "arm":
+		return ARM, nil
+	case "c11", "c":
+		return C11, nil
+	case "go":
+		return Go, nil
+	}
+	return 0, fmt.Errorf("render: unknown target %q (want x86|power|arm|c11|go)", s)
 }
 
 // Render produces the listing for test t. The optional witness fixes
@@ -125,6 +148,8 @@ func (r *renderer) dialectHeader() string {
 		return "ARM"
 	case C11:
 		return "C"
+	case Go:
+		return "Go"
 	}
 	return "?"
 }
@@ -148,6 +173,8 @@ func (r *renderer) instruction(id int, regCounter *int, regOf map[int]string) (s
 		return r.armInstruction(e, regCounter, regOf)
 	case C11:
 		return r.c11Instruction(e, regCounter, regOf)
+	case Go:
+		return r.goInstruction(e, regCounter, regOf)
 	}
 	return "", fmt.Errorf("render: unknown target %v", r.target)
 }
@@ -291,6 +318,43 @@ func (r *renderer) c11Instruction(e litmus.Event, regCounter *int, regOf map[int
 			litmus.AddrName(e.Addr), r.writeValue(e.ID), order), nil
 	}
 	return "", fmt.Errorf("render: unknown kind %v", e.Kind)
+}
+
+// --- Go ---
+
+// goInstruction mirrors the internal/stress atomic compile mode: every
+// access is a seq-cst sync/atomic op, RMW pairs are a single Swap whose
+// read half observes the old value, and fences are a Swap on a
+// thread-private sink (a full barrier on all Go targets). Orders weaker
+// than seq-cst have no Go spelling, so they are noted in a comment.
+func (r *renderer) goInstruction(e litmus.Event, regCounter *int, regOf map[int]string) (string, error) {
+	switch e.Kind {
+	case litmus.KFence:
+		return fmt.Sprintf("atomic.SwapInt64(&sink, 0) // fence %v", e.Fence), nil
+	case litmus.KRead:
+		reg := r.newReg(e.ID, regCounter, regOf, "r")
+		if w, ok := r.test.RMWPartner(e.ID); ok {
+			return fmt.Sprintf("%s := atomic.SwapInt64(&%s, %d)%s",
+				reg, litmus.AddrName(e.Addr), r.writeValue(w), r.goOrderComment(e.Order)), nil
+		}
+		return fmt.Sprintf("%s := atomic.LoadInt64(&%s)%s",
+			reg, litmus.AddrName(e.Addr), r.goOrderComment(e.Order)), nil
+	case litmus.KWrite:
+		if _, ok := r.test.RMWPartner(e.ID); ok {
+			return fmt.Sprintf("// store half of the Swap on %s (value %d)",
+				litmus.AddrName(e.Addr), r.writeValue(e.ID)), nil
+		}
+		return fmt.Sprintf("atomic.StoreInt64(&%s, %d)%s",
+			litmus.AddrName(e.Addr), r.writeValue(e.ID), r.goOrderComment(e.Order)), nil
+	}
+	return "", fmt.Errorf("render: unknown kind %v", e.Kind)
+}
+
+func (r *renderer) goOrderComment(o litmus.Order) string {
+	if o == litmus.OPlain {
+		return ""
+	}
+	return fmt.Sprintf(" // %v access: Go atomics are seq-cst", o)
 }
 
 func c11Order(o litmus.Order, isRead bool) (string, error) {

@@ -145,6 +145,64 @@ func TestWriteValuesFollowWitnessCoherence(t *testing.T) {
 	}
 }
 
+func TestGoSource(t *testing.T) {
+	w := mpWitness()
+	s := mustRender(t, Go, w.Test, w)
+	for _, want := range []string{
+		`Go "MP"`,
+		"atomic.StoreInt64(&x, 1)", "atomic.StoreInt64(&y, 1)",
+		"r0 := atomic.LoadInt64(&y)", "r1 := atomic.LoadInt64(&x)",
+		"exists (P1:r0=1 /\\ P1:r1=0 /\\ x=1 /\\ y=1)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Go output missing %q:\n%s", want, s)
+		}
+	}
+	rmw := litmus.New("rmw", [][]litmus.Op{
+		{litmus.R(0), litmus.W(0)},
+	}, litmus.WithRMW(0, 0))
+	s = mustRender(t, Go, rmw, nil)
+	if !strings.Contains(s, "atomic.SwapInt64(&x, 1)") || !strings.Contains(s, "// store half") {
+		t.Errorf("Go RMW rendering wrong:\n%s", s)
+	}
+	fenced := litmus.New("f", [][]litmus.Op{
+		{litmus.W(0), litmus.F(litmus.FMFence), litmus.R(1)},
+	})
+	s = mustRender(t, Go, fenced, nil)
+	if !strings.Contains(s, "atomic.SwapInt64(&sink, 0) // fence mfence") {
+		t.Errorf("Go fence rendering wrong:\n%s", s)
+	}
+	ordered := litmus.New("o", [][]litmus.Op{
+		{litmus.Wrel(0)},
+		{litmus.Racq(0)},
+	})
+	s = mustRender(t, Go, ordered, nil)
+	if !strings.Contains(s, "Go atomics are seq-cst") {
+		t.Errorf("Go order annotation missing:\n%s", s)
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	for s, want := range map[string]Target{
+		"x86": X86, "power": Power, "ppc": Power,
+		"arm": ARM, "c11": C11, "c": C11, "go": Go,
+	} {
+		got, err := ParseTarget(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTarget(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTarget("mips"); err == nil {
+		t.Error("ParseTarget accepted mips")
+	}
+	for _, target := range []Target{X86, Power, ARM, C11, Go} {
+		rt, err := ParseTarget(target.String())
+		if err != nil || rt != target {
+			t.Errorf("round trip %v failed: %v, %v", target, rt, err)
+		}
+	}
+}
+
 func TestTargetFor(t *testing.T) {
 	cases := map[string]Target{
 		"tso": X86, "sc": X86, "power": Power,

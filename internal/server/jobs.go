@@ -26,44 +26,65 @@ const (
 // pruned).
 const maxJobHistory = 256
 
-// JobProgress is the live engine counter snapshot of a running job.
+// JobProgress is the live counter snapshot of a running job. Synthesis
+// jobs fill the engine counters; stress jobs fill the stress fields.
 type JobProgress struct {
 	Phase       string `json:"phase"`
-	Size        int    `json:"size"`
-	ProgramsRaw int    `json:"programs_raw"`
-	Programs    int    `json:"programs"`
-	Executions  int    `json:"executions"`
-	Entries     int    `json:"entries"`
+	Size        int    `json:"size,omitempty"`
+	ProgramsRaw int    `json:"programs_raw,omitempty"`
+	Programs    int    `json:"programs,omitempty"`
+	Executions  int    `json:"executions,omitempty"`
+	Entries     int    `json:"entries,omitempty"`
 	ElapsedMS   int64  `json:"elapsed_ms"`
+	// Stress-job counters: tests executed / suite size, iterations run,
+	// and iterations whose outcome the model forbids.
+	TestsRun    int   `json:"tests_run,omitempty"`
+	TestsTotal  int   `json:"tests_total,omitempty"`
+	Iterations  int64 `json:"iterations,omitempty"`
+	Unexplained int64 `json:"unexplained,omitempty"`
 }
 
 // JobStatus is the GET /v1/jobs/{id} response (also the 202 body of an
-// async synthesize).
+// async synthesize or suite run).
 type JobStatus struct {
-	ID        string       `json:"id"`
-	Digest    string       `json:"digest"`
-	Model     string       `json:"model"`
-	State     string       `json:"state"`
-	CreatedAt time.Time    `json:"created_at"`
-	Cached    bool         `json:"cached,omitempty"`
-	Progress  *JobProgress `json:"progress,omitempty"`
-	Error     string       `json:"error,omitempty"`
+	ID        string    `json:"id"`
+	Digest    string    `json:"digest"`
+	Model     string    `json:"model"`
+	State     string    `json:"state"`
+	CreatedAt time.Time `json:"created_at"`
+	// Kind distinguishes job flavors: "synthesize" (default, omitted for
+	// compatibility) or "stress".
+	Kind   string `json:"kind,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	// Stress is the run manifest of a stress job: the exact parameters
+	// (including the normalized seed) that replay it.
+	Stress   *StressParams `json:"stress,omitempty"`
+	Progress *JobProgress  `json:"progress,omitempty"`
+	// Result carries a completed stress job's report (synthesis results
+	// live in the store under Digest instead).
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
-// job is one async synthesis request. The result itself is not kept on
-// the job: a done job's suite lives in the store under the job's digest.
+// job is one async request. A synthesis job's result is not kept on the
+// job (a done job's suite lives in the store under the job's digest); a
+// stress job's report is kept in result.
 type job struct {
 	id      string
 	digest  string
 	model   string
+	kind    string
 	created time.Time
 	done    chan struct{}
+	stress  *StressParams
 
-	mu     sync.Mutex
-	state  string
-	cached bool
-	errMsg string
-	flight *flight // progress source while running; nil before attach
+	mu         sync.Mutex
+	state      string
+	cached     bool
+	errMsg     string
+	flight     *flight // progress source while running; nil before attach
+	progressFn func() *JobProgress
+	result     any
 }
 
 func (j *job) status() JobStatus {
@@ -74,11 +95,20 @@ func (j *job) status() JobStatus {
 		Digest:    j.digest,
 		Model:     j.model,
 		State:     j.state,
+		Kind:      j.kind,
 		CreatedAt: j.created,
 		Cached:    j.cached,
+		Stress:    j.stress,
+		Result:    j.result,
 		Error:     j.errMsg,
 	}
-	if j.state == JobRunning && j.flight != nil {
+	if j.state != JobRunning {
+		return st
+	}
+	switch {
+	case j.progressFn != nil:
+		st.Progress = j.progressFn()
+	case j.flight != nil:
 		ev := j.flight.snapshot()
 		if ev.Phase != "" {
 			st.Progress = &JobProgress{

@@ -13,6 +13,12 @@
 //	DELETE /v1/suites/{digest}       evict a stored suite
 //	GET    /v1/suites/{digest}/detect  run the x86-TSO fault-detection
 //	                                 matrix over the stored union suite
+//	POST   /v1/suites/{digest}/run   stress-execute a stored suite natively
+//	                                 on this host as an async job (202 +
+//	                                 job ID; poll or stream /v1/jobs/{id})
+//	GET    /v1/suites/{digest}/render  render a stored suite for a target
+//	                                 dialect (?target=x86|power|arm|c11|go,
+//	                                 ?axiom= selects a suite)
 //	GET    /v1/models                visible models (built-in + registered),
 //	                                 each with source ("builtin"/"cat"),
 //	                                 definition digest, axioms, relaxations
@@ -127,6 +133,10 @@ type metrics struct {
 	peerHits *expvar.Int
 	// raceWins counts cold-run backend races by winning backend.
 	raceWins *expvar.Map
+	// stressRuns counts stress jobs started; stressIterations accumulates
+	// iterations executed across them; stressUnexplained accumulates
+	// iterations whose observed outcome the model forbids.
+	stressRuns, stressIterations, stressUnexplained *expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -151,6 +161,9 @@ func newMetrics() *metrics {
 	m.peerHits = mk("peer_hits")
 	m.raceWins = new(expvar.Map).Init()
 	m.all.Set("race_backend_wins", m.raceWins)
+	m.stressRuns = mk("stress_runs")
+	m.stressIterations = mk("stress_iterations")
+	m.stressUnexplained = mk("stress_unexplained_outcomes")
 	return m
 }
 
@@ -233,6 +246,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/suites/{digest}", s.handleSuiteEvict)
 	s.mux.HandleFunc("GET /v1/suites/{digest}/detect", s.handleSuiteDetect)
 	s.mux.HandleFunc("GET /v1/suites/{digest}/bundle", s.handleSuiteBundle)
+	s.mux.HandleFunc("POST /v1/suites/{digest}/run", s.handleSuiteRun)
+	s.mux.HandleFunc("GET /v1/suites/{digest}/render", s.handleSuiteRender)
 	return s
 }
 
@@ -662,35 +677,9 @@ func (s *Server) handleSuiteEvict(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSuiteDetect(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
-	ss, err := s.store.Get(digest)
-	if errors.Is(err, store.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "no suite with digest %s", digest)
+	_, res, model, ok := s.loadSuiteModel(w, digest)
+	if !ok {
 		return
-	}
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	res, err := ss.Result()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	model, err := s.models.ByName(ss.Manifest.Model)
-	if err != nil {
-		writeError(w, http.StatusConflict, "stored model is not available: %v", err)
-		return
-	}
-	// A registered model may have been replaced since the suite was
-	// stored; detection against a different definition would be
-	// incoherent, so insist the digests still match.
-	if want := ss.Manifest.ModelDigest; want != "" {
-		if _, have := memmodel.SourceOf(model); have != want {
-			writeError(w, http.StatusConflict,
-				"stored suite was synthesized from definition %s but the registered model %q now has digest %q",
-				want, ss.Manifest.Model, have)
-			return
-		}
 	}
 	tests := make([]*litmus.Test, 0, len(res.Union.Entries))
 	for _, e := range res.Union.Entries {

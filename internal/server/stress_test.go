@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stressJobStatus decodes a JobStatus whose Result is a StressRunResult.
+type stressJobStatus struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Kind     string          `json:"kind"`
+	Stress   *StressParams   `json:"stress"`
+	Progress *JobProgress    `json:"progress"`
+	Result   json.RawMessage `json:"result"`
+	Error    string          `json:"error"`
+}
+
+func postRun(t *testing.T, url, digest, body string) (*http.Response, stressJobStatus) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/suites/"+digest+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stressJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil && resp.StatusCode == http.StatusAccepted {
+		t.Fatal(err)
+	}
+	return resp, st
+}
+
+func awaitJob(t *testing.T, url, id string) stressJobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st stressJobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobRunning {
+			return st
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("job did not complete in time")
+	return stressJobStatus{}
+}
+
+// TestSuiteRunEndpoint is the acceptance flow for native execution: store
+// a synthesized TSO suite, stress-run it through the async job API, and
+// check the observed-outcome histograms come back non-empty and fully
+// model-explained (atomic mode cannot exhibit forbidden outcomes).
+func TestSuiteRunEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes tso at bound 4 and stress-executes it")
+	}
+	_, ts := newTestServer(t, t.TempDir())
+	resp1, _ := postSynthesize(t, ts.URL, `{"model":"tso","max_events":4}`)
+	digest := resp1.Header.Get("X-Memsynth-Digest")
+
+	resp, st := postRun(t, ts.URL, digest, `{"iterations":150,"batch":64,"seed":5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST run: %d", resp.StatusCode)
+	}
+	if st.Kind != JobKindStress || st.Stress == nil {
+		t.Fatalf("202 job status missing stress manifest: %+v", st)
+	}
+	if st.Stress.Seed != 5 || st.Stress.Mode != "atomic" || st.Stress.Axiom != "union" {
+		t.Fatalf("stress manifest = %+v", st.Stress)
+	}
+
+	final := awaitJob(t, ts.URL, st.ID)
+	if final.State != JobDone {
+		t.Fatalf("job state %q (error %q)", final.State, final.Error)
+	}
+	var res StressRunResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if res.TestsRun == 0 || res.Iterations == 0 || len(res.Reports) == 0 {
+		t.Fatalf("empty stress result: %+v", res)
+	}
+	if res.Seed != 5 || res.Mode != "atomic" || res.Digest != digest {
+		t.Fatalf("result manifest wrong: %+v", res)
+	}
+	if res.Unexplained != 0 || res.Violations != 0 {
+		t.Fatalf("atomic run reported forbidden outcomes: %+v", res)
+	}
+	for _, rep := range res.Reports {
+		if len(rep.Outcomes) == 0 {
+			t.Fatalf("%s: empty histogram", rep.Test)
+		}
+		if !rep.Checked {
+			t.Fatalf("%s: not cross-checked", rep.Test)
+		}
+	}
+
+	if runs := metricValue(t, ts.URL, "stress_runs"); runs != 1 {
+		t.Errorf("stress_runs = %d, want 1", runs)
+	}
+	if iters := metricValue(t, ts.URL, "stress_iterations"); iters != res.Iterations {
+		t.Errorf("stress_iterations = %d, want %d", iters, res.Iterations)
+	}
+	if un := metricValue(t, ts.URL, "stress_unexplained_outcomes"); un != 0 {
+		t.Errorf("stress_unexplained_outcomes = %d, want 0", un)
+	}
+
+	// A zero seed is normalized before the 202 so the manifest replays.
+	resp2, st2 := postRun(t, ts.URL, digest, `{"iterations":32}`)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST run: %d", resp2.StatusCode)
+	}
+	if st2.Stress == nil || st2.Stress.Seed == 0 {
+		t.Fatalf("zero seed not normalized in job manifest: %+v", st2.Stress)
+	}
+	awaitJob(t, ts.URL, st2.ID)
+}
+
+func TestSuiteRunErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes sc at bound 3")
+	}
+	_, ts := newTestServer(t, t.TempDir())
+	resp1, _ := postSynthesize(t, ts.URL, `{"model":"sc","max_events":3}`)
+	digest := resp1.Header.Get("X-Memsynth-Digest")
+
+	resp, _ := postRun(t, ts.URL, "deadbeef", `{}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown digest: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postRun(t, ts.URL, digest, `{"mode":"bogus"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad mode: %d, want 422", resp.StatusCode)
+	}
+	resp, _ = postRun(t, ts.URL, digest, `{"axiom":"nope"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bad axiom: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postRun(t, ts.URL, digest, `{"iterations":-1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative iterations: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSuiteRenderEndpoint serves a stored suite in each dialect the model
+// supports, including the Go target that mirrors the stress executor.
+func TestSuiteRenderEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes tso at bound 4")
+	}
+	_, ts := newTestServer(t, t.TempDir())
+	resp1, _ := postSynthesize(t, ts.URL, `{"model":"tso","max_events":4}`)
+	digest := resp1.Header.Get("X-Memsynth-Digest")
+
+	get := func(query string) (*http.Response, string) {
+		resp, err := http.Get(ts.URL + "/v1/suites/" + digest + "/render" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("?target=go")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("render go: %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Memsynth-Target") != "go" {
+		t.Errorf("target header = %q", resp.Header.Get("X-Memsynth-Target"))
+	}
+	if !strings.Contains(body, "atomic.LoadInt64") || !strings.Contains(body, "exists (") {
+		t.Errorf("go rendering missing atomics or exists clause:\n%s", body)
+	}
+
+	// No target: tso's conventional dialect is x86.
+	resp, body = get("")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Memsynth-Target") != "x86" {
+		t.Fatalf("default render: %d target=%q", resp.StatusCode, resp.Header.Get("X-Memsynth-Target"))
+	}
+	if !strings.Contains(body, "MFENCE") && !strings.Contains(body, "MOV") {
+		t.Errorf("x86 rendering looks wrong:\n%s", body)
+	}
+
+	resp, _ = get("?target=mips")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad target: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = get("?axiom=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bad axiom: %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,255 @@
+package stress
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"memsynth/internal/litmus"
+)
+
+// Arena layout: each (iteration, address) pair owns one cache line.
+// Slots are int64 words at stride slotWords, so concurrent iterations
+// never false-share and every access is a full-width aligned word (no
+// tearing on any supported host).
+const (
+	cacheLine = 64
+	slotWords = cacheLine / 8
+)
+
+// op is one compiled instruction: a closure over the executing thread's
+// context. c.base is the word offset of the current iteration's slot
+// block; ops add their address offset to it.
+type op func(c *threadCtx)
+
+// threadCtx is the per-thread execution state. The leading and trailing
+// pads keep contexts of different threads on distinct cache lines; sink
+// is the target of fence exchanges and spin is the start-skew accumulator
+// (written so the skew loop cannot be optimized away).
+type threadCtx struct {
+	_     [slotWords]int64
+	arena []int64
+	regs  []int64
+	base  int
+	sink  int64
+	spin  int64
+	_     [slotWords]int64
+}
+
+// compiled is a litmus test lowered to per-thread op chains.
+type compiled struct {
+	test       *litmus.Test
+	mode       Mode
+	numThreads int
+	numAddrs   int
+	// reads lists read event IDs in event order; readCol maps an event ID
+	// to its dense column in the per-iteration read record.
+	reads   []int
+	readCol []int
+	threads [][]op
+}
+
+// opaqueZero returns v^v (always zero) through a call the compiler will
+// not inline, so folding it into an address or store value creates a real
+// data flow from the source read — the artificial-dependency idiom of
+// hardware litmus harnesses, which keeps addr/data/ctrl chains intact in
+// ModePlain where the compiler could otherwise break them.
+//
+//go:noinline
+func opaqueZero(v int64) int64 { return v ^ v }
+
+// depZero folds the values of the given source reads into an
+// always-zero offset.
+func depZero(c *threadCtx, srcs []int) int64 {
+	var z int64
+	for _, s := range srcs {
+		z |= opaqueZero(c.regs[s])
+	}
+	return z
+}
+
+// token encodes write event w as the value it stores: event ID + 1, so 0
+// remains the initial value and every write is identifiable from memory.
+func token(w int) int64 { return int64(w + 1) }
+
+// compile lowers t to per-thread closures for the given mode.
+func compile(t *litmus.Test, mode Mode) (*compiled, error) {
+	if t.NumEvents() == 0 {
+		return nil, fmt.Errorf("stress: test %q has no events", t.Name)
+	}
+	ct := &compiled{
+		test:       t,
+		mode:       mode,
+		numThreads: t.NumThreads(),
+		numAddrs:   t.NumAddrs(),
+		readCol:    make([]int, t.NumEvents()),
+	}
+	for i := range ct.readCol {
+		ct.readCol[i] = -1
+	}
+	for _, e := range t.Events {
+		if e.Kind == litmus.KRead {
+			ct.readCol[e.ID] = len(ct.reads)
+			ct.reads = append(ct.reads, e.ID)
+		}
+	}
+
+	// Incoming dependency edges per event, split by how they attach:
+	// address-like deps fold into the slot index, data deps into the
+	// stored value, control deps guard the op behind an opaque branch.
+	addrDeps := make([][]int, t.NumEvents())
+	dataDeps := make([][]int, t.NumEvents())
+	ctrlDeps := make([][]int, t.NumEvents())
+	for _, d := range t.Deps {
+		switch d.Type {
+		case litmus.DepAddr:
+			addrDeps[d.To] = append(addrDeps[d.To], d.From)
+		case litmus.DepData:
+			if t.Events[d.To].Kind == litmus.KWrite {
+				dataDeps[d.To] = append(dataDeps[d.To], d.From)
+			} else {
+				addrDeps[d.To] = append(addrDeps[d.To], d.From)
+			}
+		case litmus.DepCtrl:
+			ctrlDeps[d.To] = append(ctrlDeps[d.To], d.From)
+		}
+	}
+
+	isRMWRead := make([]bool, t.NumEvents())
+	isRMWWrite := make([]bool, t.NumEvents())
+	for _, p := range t.RMW {
+		isRMWRead[p[0]] = true
+		isRMWWrite[p[1]] = true
+	}
+
+	ct.threads = make([][]op, ct.numThreads)
+	for th := 0; th < ct.numThreads; th++ {
+		var ops []op
+		for _, id := range t.Thread(th) {
+			e := t.Events[id]
+			if isRMWWrite[id] {
+				continue // emitted as part of the read half's swap
+			}
+			var f op
+			switch {
+			case e.Kind == litmus.KFence:
+				f = fenceOp()
+			case isRMWRead[id]:
+				w, _ := t.RMWPartner(id)
+				f = rmwOp(e, id, w, addrDeps[id], dataDeps[w])
+			case e.Kind == litmus.KRead:
+				f = readOp(mode, e, id, addrDeps[id])
+			case e.Kind == litmus.KWrite:
+				f = writeOp(mode, e, id, addrDeps[id], dataDeps[id])
+			default:
+				return nil, fmt.Errorf("stress: event %d has unknown kind %v", id, e.Kind)
+			}
+			if srcs := ctrlDeps[id]; len(srcs) > 0 {
+				f = ctrlOp(srcs, f)
+			}
+			ops = append(ops, f)
+		}
+		ct.threads[th] = ops
+	}
+	return ct, nil
+}
+
+// atomicAccess reports whether the event compiles to a sync/atomic
+// operation: always in ModeAtomic; in ModePlain only ordered accesses
+// (acquire/release/SC/...) need atomics — Go has no other way to express
+// ordering — while OPlain stays a plain load/store.
+func atomicAccess(mode Mode, order litmus.Order) bool {
+	return mode == ModeAtomic || order != litmus.OPlain
+}
+
+func fenceOp() op {
+	// An atomic exchange is a full barrier on every Go target — exact for
+	// mfence/sync/SC fences and conservative (stronger than required) for
+	// the weak kinds. The sink is thread-private, so the fence orders
+	// without communicating.
+	return func(c *threadCtx) { atomic.SwapInt64(&c.sink, 0) }
+}
+
+func readOp(mode Mode, e litmus.Event, id int, aDeps []int) op {
+	off := e.Addr * slotWords
+	if atomicAccess(mode, e.Order) {
+		if len(aDeps) == 0 {
+			return func(c *threadCtx) { c.regs[id] = atomic.LoadInt64(&c.arena[c.base+off]) }
+		}
+		return func(c *threadCtx) {
+			idx := c.base + off + int(depZero(c, aDeps))
+			c.regs[id] = atomic.LoadInt64(&c.arena[idx])
+		}
+	}
+	if len(aDeps) == 0 {
+		return func(c *threadCtx) { c.regs[id] = c.arena[c.base+off] }
+	}
+	return func(c *threadCtx) {
+		idx := c.base + off + int(depZero(c, aDeps))
+		c.regs[id] = c.arena[idx]
+	}
+}
+
+func writeOp(mode Mode, e litmus.Event, id int, aDeps, dDeps []int) op {
+	off := e.Addr * slotWords
+	tok := token(id)
+	if atomicAccess(mode, e.Order) {
+		if len(aDeps) == 0 && len(dDeps) == 0 {
+			return func(c *threadCtx) { atomic.StoreInt64(&c.arena[c.base+off], tok) }
+		}
+		return func(c *threadCtx) {
+			idx := c.base + off + int(depZero(c, aDeps))
+			atomic.StoreInt64(&c.arena[idx], tok+depZero(c, dDeps))
+		}
+	}
+	if len(aDeps) == 0 && len(dDeps) == 0 {
+		return func(c *threadCtx) { c.arena[c.base+off] = tok }
+	}
+	return func(c *threadCtx) {
+		idx := c.base + off + int(depZero(c, aDeps))
+		c.arena[idx] = tok + depZero(c, dDeps)
+	}
+}
+
+// rmwOp compiles an adjacent read/write RMW pair to one atomic exchange:
+// the read observes the old value, the write installs its token, and no
+// other store can slip between them — the bus-locked semantics every
+// implemented model gives RMW pairs.
+func rmwOp(e litmus.Event, rid, wid int, aDeps, dDeps []int) op {
+	off := e.Addr * slotWords
+	tok := token(wid)
+	if len(aDeps) == 0 && len(dDeps) == 0 {
+		return func(c *threadCtx) { c.regs[rid] = atomic.SwapInt64(&c.arena[c.base+off], tok) }
+	}
+	return func(c *threadCtx) {
+		idx := c.base + off + int(depZero(c, aDeps))
+		c.regs[rid] = atomic.SwapInt64(&c.arena[idx], tok+depZero(c, dDeps))
+	}
+}
+
+// ctrlOp guards inner behind a branch on the source reads' values that
+// always takes the true arm but that the compiler must treat as live.
+func ctrlOp(srcs []int, inner op) op {
+	return func(c *threadCtx) {
+		if depZero(c, srcs) == 0 {
+			inner(c)
+		}
+	}
+}
+
+// decodeToken maps an observed memory value back to its writing event:
+// -1 for the initial value, the write's event ID otherwise. ok is false
+// for values no write to addr can have produced.
+func (ct *compiled) decodeToken(v int64, addr int) (w int, ok bool) {
+	if v == 0 {
+		return -1, true
+	}
+	w = int(v - 1)
+	if w < 0 || w >= ct.test.NumEvents() {
+		return 0, false
+	}
+	e := ct.test.Events[w]
+	if e.Kind != litmus.KWrite || e.Addr != addr {
+		return 0, false
+	}
+	return w, true
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package stress
+
+// RaceEnabled reports whether this binary was built with the race
+// detector. ModePlain is deliberately racy and is refused when it is on.
+const RaceEnabled = false

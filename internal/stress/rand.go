@@ -1,0 +1,46 @@
+package stress
+
+// Seeded randomness for shuffle order and start-skew. A tiny splitmix64
+// keeps the package dependency-free and — more importantly — makes every
+// scheduling decision a pure function of (seed, stream, step), so a run's
+// shuffle order and skew sequence replay exactly from Report.Seed.
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a splitmix64 stream. Distinct streams (per thread, per batch)
+// derive from the same seed without correlation by hashing the stream ID
+// into the initial state.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, stream uint64) *rng {
+	return &rng{state: splitmix64(uint64(seed) ^ splitmix64(stream))}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return splitmix64(r.state)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// permFill writes a seeded Fisher-Yates permutation of [0, len(perm))
+// into perm — the iteration→arena-slot shuffle of one batch. Every
+// thread of a batch uses the same permutation (the coordinator computes
+// it once), so threads contend on the same slot while the memory access
+// pattern varies batch to batch.
+func permFill(perm []int, seed int64, batch int) {
+	for i := range perm {
+		perm[i] = i
+	}
+	r := newRNG(seed, uint64(5)<<32|uint64(uint32(batch)))
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+}

@@ -1,0 +1,222 @@
+package stress
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsynth/internal/tsosim"
+)
+
+// ErrPlainUnderRace rejects ModePlain in race-instrumented binaries:
+// plain mode's unsynchronized accesses are the point of the mode, but the
+// race detector (correctly) reports them, so the combination is refused
+// rather than producing a wall of expected reports.
+var ErrPlainUnderRace = errors.New(
+	"stress: plain mode is deliberately racy and cannot run under the race detector (use atomic mode)")
+
+// senseBarrier is a sense-reversing spin barrier for the worker threads.
+// Each iteration of a batch starts behind one wait, keeping the threads
+// temporally aligned so their accesses actually contend. Spinning yields
+// to the scheduler after a bounded number of polls so the barrier makes
+// progress even with more threads than cores.
+type senseBarrier struct {
+	n     int32
+	count int32
+	sense uint32
+}
+
+func (b *senseBarrier) wait(local *uint32) {
+	s := *local ^ 1
+	*local = s
+	if atomic.AddInt32(&b.count, 1) == b.n {
+		atomic.StoreInt32(&b.count, 0)
+		atomic.StoreUint32(&b.sense, s)
+		return
+	}
+	for spins := 0; atomic.LoadUint32(&b.sense) != s; spins++ {
+		if spins >= 512 {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// spinN burns roughly n loop iterations, accumulating into the context so
+// the loop has an observable effect the compiler must keep.
+func spinN(c *threadCtx, n int) {
+	for i := 0; i < n; i++ {
+		c.spin += int64(i)
+	}
+}
+
+// run executes all batches of a stress run and fills rep. Threads are
+// spawned once and reused across batches; the coordinator (the calling
+// goroutine) prepares each batch, releases the threads, waits, and
+// collects the batch's outcomes.
+func run(ctx context.Context, ct *compiled, opts Options, rep *Report, t0 time.Time) error {
+	batch := opts.Batch
+	addrWords := ct.numAddrs * slotWords
+	// One trailing slot of padding so the last slot's line is not shared
+	// with whatever the allocator places next.
+	arena := make([]int64, batch*addrWords+slotWords)
+	readsPerIter := len(ct.reads)
+	rec := make([]int64, batch*readsPerIter+slotWords)
+	perm := make([]int, batch)
+
+	// Per-batch handoff: curIters is written by the coordinator before
+	// the start signals (the channel send publishes it), and wg releases
+	// the coordinator when every thread finished the batch.
+	var curIters int
+	var wg sync.WaitGroup
+	bar := &senseBarrier{n: int32(ct.numThreads)}
+	starts := make([]chan struct{}, ct.numThreads)
+	for th := range starts {
+		starts[th] = make(chan struct{})
+	}
+
+	for th := 0; th < ct.numThreads; th++ {
+		th := th
+		ops := ct.threads[th]
+		// Column offsets of this thread's reads in the record block.
+		var myReads []int // event IDs
+		var myCols []int
+		for _, id := range ct.test.Thread(th) {
+			if col := ct.readCol[id]; col >= 0 {
+				myReads = append(myReads, id)
+				myCols = append(myCols, col)
+			}
+		}
+		go func() {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			c := &threadCtx{arena: arena, regs: make([]int64, ct.test.NumEvents())}
+			r := newRNG(opts.Seed, 0x7ead<<16|uint64(th))
+			var sense uint32
+			for range starts[th] {
+				iters := curIters
+				for k := 0; k < iters; k++ {
+					bar.wait(&sense)
+					if opts.MaxSkew > 0 {
+						spinN(c, r.intn(opts.MaxSkew+1))
+					}
+					slot := perm[k]
+					c.base = slot * addrWords
+					for _, f := range ops {
+						f(c)
+					}
+					ro := slot * readsPerIter
+					for i, id := range myReads {
+						rec[ro+myCols[i]] = c.regs[id]
+					}
+				}
+				wg.Done()
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range starts {
+			close(ch)
+		}
+	}()
+
+	hist := make(map[string]*OutcomeCount)
+	remaining := opts.Iterations
+	batchIdx := 0
+	for remaining > 0 {
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
+		iters := batch
+		if iters > remaining {
+			iters = remaining
+		}
+		// Prepare: fresh memory and a fresh shuffle for this batch.
+		tPrep := time.Now()
+		for i := 0; i < iters*addrWords; i++ {
+			arena[i] = 0
+		}
+		permFill(perm[:iters], opts.Seed, batchIdx)
+		curIters = iters
+
+		wg.Add(ct.numThreads)
+		for _, ch := range starts {
+			ch <- struct{}{}
+		}
+		wg.Wait()
+		rep.Stages.Run += time.Since(tPrep)
+
+		tCollect := time.Now()
+		collectBatch(ct, arena, rec, iters, hist, rep)
+		rep.Stages.Collect += time.Since(tCollect)
+		rep.Iterations += int64(iters)
+		remaining -= iters
+		batchIdx++
+
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Test:       ct.test.Name,
+				Iterations: rep.Iterations,
+				Total:      int64(opts.Iterations),
+				Outcomes:   len(hist),
+				Elapsed:    time.Since(t0),
+			})
+		}
+	}
+
+	rep.Outcomes = make([]OutcomeCount, 0, len(hist))
+	for _, oc := range hist {
+		rep.Outcomes = append(rep.Outcomes, *oc)
+	}
+	return nil
+}
+
+// collectBatch decodes each completed iteration's read record and final
+// memory into an observable outcome and folds it into the histogram.
+func collectBatch(ct *compiled, arena, rec []int64, iters int, hist map[string]*OutcomeCount, rep *Report) {
+	addrWords := ct.numAddrs * slotWords
+	readsPerIter := len(ct.reads)
+	numEvents := ct.test.NumEvents()
+	for s := 0; s < iters; s++ {
+		o := tsosim.Outcome{
+			ReadsFrom:  make([]int, numEvents),
+			FinalWrite: make([]int, ct.numAddrs),
+		}
+		for i := range o.ReadsFrom {
+			o.ReadsFrom[i] = -1
+		}
+		ok := true
+		for col, id := range ct.reads {
+			w, valid := ct.decodeToken(rec[s*readsPerIter+col], ct.test.Events[id].Addr)
+			if !valid {
+				ok = false
+				break
+			}
+			o.ReadsFrom[id] = w
+		}
+		if ok {
+			for a := 0; a < ct.numAddrs; a++ {
+				w, valid := ct.decodeToken(arena[s*addrWords+a*slotWords], a)
+				if !valid {
+					ok = false
+					break
+				}
+				o.FinalWrite[a] = w
+			}
+		}
+		if !ok {
+			rep.Corrupt++
+			continue
+		}
+		key := o.Key()
+		if oc, seen := hist[key]; seen {
+			oc.Count++
+			continue
+		}
+		hist[key] = &OutcomeCount{Key: key, Outcome: o, Count: 1}
+	}
+}

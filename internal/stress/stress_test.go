@@ -1,0 +1,223 @@
+package stress
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"memsynth/internal/litmus"
+	"memsynth/internal/suites"
+	"memsynth/internal/tsosim"
+)
+
+// sb is the store-buffering test: St x; Ld y || St y; Ld x.
+func sb() *litmus.Test {
+	return litmus.New("SB", [][]litmus.Op{
+		{litmus.W(0), litmus.R(1)},
+		{litmus.W(1), litmus.R(0)},
+	})
+}
+
+func runOrFail(t *testing.T, lt *litmus.Test, opts Options) *Report {
+	t.Helper()
+	rep, err := Run(lt, opts)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", lt.Name, err)
+	}
+	return rep
+}
+
+func TestAtomicOutcomesAreRealInterleavings(t *testing.T) {
+	// Every outcome an atomic-mode run observes must be one the
+	// exhaustive x86-TSO machine can produce: Go atomics are sequentially
+	// consistent, and SC is a subset of TSO.
+	lt := sb()
+	rep := runOrFail(t, lt, Options{Iterations: 800, Batch: 128, Seed: 7})
+	if len(rep.Outcomes) == 0 {
+		t.Fatal("empty outcome histogram")
+	}
+	if rep.Iterations != 800 {
+		t.Fatalf("Iterations = %d, want 800", rep.Iterations)
+	}
+	if rep.Corrupt != 0 {
+		t.Fatalf("corrupt outcomes: %d", rep.Corrupt)
+	}
+	sim, err := tsosim.Run(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range rep.Outcomes {
+		if _, ok := sim[oc.Key]; !ok {
+			t.Errorf("observed outcome %q not reachable on the TSO machine", oc.Key)
+		}
+	}
+	var total int64
+	for _, oc := range rep.Outcomes {
+		total += oc.Count
+	}
+	if total != rep.Iterations {
+		t.Fatalf("histogram counts sum to %d, want %d", total, rep.Iterations)
+	}
+}
+
+func TestOwensSuiteDifferential(t *testing.T) {
+	// The full seed baseline suite: atomic-mode observations must be a
+	// subset of the simulator's exhaustive outcome set for every test.
+	for _, bt := range suites.Owens() {
+		sim, err := tsosim.Run(bt.Test)
+		if err != nil {
+			continue // non-TSO vocabulary
+		}
+		rep := runOrFail(t, bt.Test, Options{Iterations: 300, Batch: 64, Seed: 11})
+		if len(rep.Outcomes) == 0 {
+			t.Fatalf("%s: empty histogram", bt.Name)
+		}
+		for _, oc := range rep.Outcomes {
+			if _, ok := sim[oc.Key]; !ok {
+				t.Errorf("%s: observed %q not in simulator outcome set", bt.Name, oc.Key)
+			}
+		}
+	}
+}
+
+func TestRMWObservesOldValue(t *testing.T) {
+	// St x; then an RMW pair on x in another thread after a fence-free
+	// race: the RMW read must observe either the initial value or the
+	// first store, and the final write is always the RMW's.
+	lt := litmus.New("rmw", [][]litmus.Op{
+		{litmus.W(0)},
+		{litmus.R(0), litmus.W(0)},
+	}, litmus.WithRMW(1, 0))
+	rep := runOrFail(t, lt, Options{Iterations: 400, Batch: 64, Seed: 3})
+	sim, err := tsosim.Run(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range rep.Outcomes {
+		if _, ok := sim[oc.Key]; !ok {
+			t.Fatalf("observed %q not in simulator outcome set", oc.Key)
+		}
+		if rf := oc.Outcome.ReadsFrom[1]; rf != -1 && rf != 0 {
+			t.Fatalf("RMW read saw event %d, want -1 or 0", rf)
+		}
+		// Atomicity: if the RMW read observed the plain store, no other
+		// write can slip between it and the RMW write — the final write
+		// must be the RMW's.
+		if oc.Outcome.ReadsFrom[1] == 0 && oc.Outcome.FinalWrite[0] != 2 {
+			t.Fatalf("RMW pair split: read saw event 0 but final write is %d", oc.Outcome.FinalWrite[0])
+		}
+	}
+}
+
+func TestVocabularyCompiles(t *testing.T) {
+	// Orders, fences, scopes, and dependency flavors all compile and run
+	// without corrupt outcomes in both modes' shared (atomic) paths.
+	lt := litmus.New("vocab", [][]litmus.Op{
+		{litmus.W(0).WithOrder(litmus.ORelease), litmus.F(litmus.FSync), litmus.W(1)},
+		{litmus.R(1).WithOrder(litmus.OAcquire), litmus.F(litmus.FSC), litmus.R(0).WithScope(litmus.ScopeSys)},
+		{litmus.R(0), litmus.R(1)},
+	},
+		litmus.WithDep(1, 0, 1, litmus.DepCtrl),
+		litmus.WithDep(2, 0, 1, litmus.DepAddr),
+		litmus.WithGroups(0, 0, 1),
+	)
+	rep := runOrFail(t, lt, Options{Iterations: 200, Batch: 64, Seed: 5})
+	if rep.Corrupt != 0 {
+		t.Fatalf("corrupt outcomes: %d", rep.Corrupt)
+	}
+	if len(rep.Outcomes) == 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestSeedRecordedAndShuffleDeterministic(t *testing.T) {
+	rep := runOrFail(t, sb(), Options{Iterations: 64, Batch: 32})
+	if rep.Seed == 0 {
+		t.Fatal("zero-seed run did not record the chosen seed")
+	}
+	rep2 := runOrFail(t, sb(), Options{Iterations: 64, Batch: 32, Seed: 42})
+	if rep2.Seed != 42 {
+		t.Fatalf("Seed = %d, want 42", rep2.Seed)
+	}
+	// The shuffle order is a pure function of (seed, batch index).
+	a := make([]int, 97)
+	b := make([]int, 97)
+	permFill(a, 42, 3)
+	permFill(b, 42, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("perm not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	permFill(b, 43, 3)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+func TestPlainModeRaceGate(t *testing.T) {
+	if RaceEnabled {
+		_, err := Run(sb(), Options{Mode: ModePlain, Iterations: 16})
+		if !errors.Is(err, ErrPlainUnderRace) {
+			t.Fatalf("plain mode under -race: got %v, want ErrPlainUnderRace", err)
+		}
+		return
+	}
+	rep := runOrFail(t, sb(), Options{Mode: ModePlain, Iterations: 400, Batch: 64, Seed: 9})
+	if len(rep.Outcomes) == 0 {
+		t.Fatal("plain mode produced no outcomes")
+	}
+	if rep.Mode != "plain" {
+		t.Fatalf("Mode = %q", rep.Mode)
+	}
+}
+
+func TestCancelledRunIsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunContext(ctx, sb(), Options{Iterations: 1 << 20, Batch: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("cancelled run not marked Interrupted")
+	}
+	if rep.Iterations != 0 {
+		t.Fatalf("cancelled-before-start run executed %d iterations", rep.Iterations)
+	}
+}
+
+func TestMachineOutcomes(t *testing.T) {
+	rep := runOrFail(t, sb(), Options{Iterations: 128, Batch: 64, Seed: 2})
+	m := rep.MachineOutcomes()
+	if len(m) != len(rep.Outcomes) {
+		t.Fatalf("MachineOutcomes has %d entries, histogram %d", len(m), len(rep.Outcomes))
+	}
+	for k, o := range m {
+		if o.Key() != k {
+			t.Fatalf("outcome key mismatch: map key %q vs %q", k, o.Key())
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"", ModeAtomic}, {"atomic", ModeAtomic}, {"plain", ModePlain}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted bogus mode")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"memsynth/internal/minimal"
 	"memsynth/internal/randgen"
 	"memsynth/internal/render"
+	"memsynth/internal/stress"
 	"memsynth/internal/suites"
 	"memsynth/internal/synth"
 	"memsynth/internal/tsosim"
@@ -413,6 +414,61 @@ func CheckImplementation(m Model, t *Test, run func(*Test) (map[string]tsosim.Ou
 	return harness.Check(m, t, run)
 }
 
+// StressMode selects the native stress executor's compile scheme.
+type StressMode = stress.Mode
+
+// Stress compile modes: atomic (race-clean, sound — every observed
+// outcome is a real interleaving) and plain (deliberately unsynchronized;
+// refused under the race detector).
+const (
+	StressAtomic = stress.ModeAtomic
+	StressPlain  = stress.ModePlain
+)
+
+// ParseStressMode parses "atomic" or "plain".
+func ParseStressMode(s string) (StressMode, error) { return stress.ParseMode(s) }
+
+// StressOptions configures a native stress run (iterations, batching,
+// seed, compile mode).
+type StressOptions = stress.Options
+
+// StressReport is the observed-outcome histogram of one stress-executed
+// test, keyed identically to the abstract machines' outcomes.
+type StressReport = stress.Report
+
+// StressTest executes t natively on this host — the litmus7-style closing
+// of the loop from synthesized suites to real hardware.
+func StressTest(t *Test, opts StressOptions) (*StressReport, error) { return stress.Run(t, opts) }
+
+// StressTestContext is StressTest with cancellation between batches; a
+// cancelled run returns its partial histogram with Interrupted set.
+func StressTestContext(ctx context.Context, t *Test, opts StressOptions) (*StressReport, error) {
+	return stress.RunContext(ctx, t, opts)
+}
+
+// StressCrossCheck marks each observed outcome of rep against m's allowed
+// set (filling Allowed and Unexplained) and returns the forbidden ones.
+func StressCrossCheck(m Model, t *Test, rep *StressReport) []harness.Violation {
+	return harness.CrossCheck(m, t, rep)
+}
+
+// StressSuiteReport aggregates a suite-wide native stress run with the
+// model cross-check applied to every test.
+type StressSuiteReport = harness.StressSuiteReport
+
+// StressSuite stress-executes every test on this host and cross-checks
+// observed outcomes against m. Cancelling ctx stops between tests.
+func StressSuite(ctx context.Context, m Model, tests []*Test, opts StressOptions) *StressSuiteReport {
+	return harness.RunStressSuite(ctx, m, tests, opts, nil)
+}
+
+// FaultDetectionMatrixStress extends the fault-detection matrix with a
+// host row: after the simulator variants, the suite is stress-executed
+// natively and cross-checked (row Machine "host:<mode>").
+func FaultDetectionMatrixStress(ctx context.Context, m Model, tests []*Test, opts StressOptions) ([]FaultDetection, *StressSuiteReport, error) {
+	return harness.DetectionMatrixStressContext(ctx, m, tests, opts)
+}
+
 // Spec is a parsed litmus file: a test plus an optional forbidden outcome.
 type Spec = litmus.Spec
 
@@ -454,7 +510,11 @@ const (
 	RenderPower = render.Power
 	RenderARM   = render.ARM
 	RenderC11   = render.C11
+	RenderGo    = render.Go
 )
+
+// ParseRenderTarget parses a target name: x86 | power | arm | c11 | go.
+func ParseRenderTarget(s string) (RenderTarget, error) { return render.ParseTarget(s) }
 
 // RenderTest renders a litmus test as an assembly-style listing or C11
 // source, with an exists-clause for the witness outcome when given.

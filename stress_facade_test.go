@@ -1,0 +1,60 @@
+package memsynth_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"memsynth"
+)
+
+// TestStressFacade exercises the native-execution surface of the public
+// API: run a test, cross-check it, run a suite, and render the Go dialect
+// that mirrors the executor's compile scheme.
+func TestStressFacade(t *testing.T) {
+	sb := memsynth.NewTest("SB", [][]memsynth.Op{
+		{memsynth.W(0), memsynth.R(1)},
+		{memsynth.W(1), memsynth.R(0)},
+	})
+	tso, err := memsynth.ModelByName("tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mode, err := memsynth.ParseStressMode("atomic")
+	if err != nil || mode != memsynth.StressAtomic {
+		t.Fatalf("ParseStressMode: %v, %v", mode, err)
+	}
+	opts := memsynth.StressOptions{Mode: mode, Iterations: 200, Batch: 64, Seed: 3}
+
+	rep, err := memsynth.StressTest(sb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) == 0 || rep.Iterations != 200 || rep.Seed != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if v := memsynth.StressCrossCheck(tso, sb, rep); len(v) != 0 {
+		t.Fatalf("atomic SB run exhibited forbidden outcomes: %v", v)
+	}
+	if !rep.Checked || rep.Unexplained != 0 {
+		t.Fatalf("cross-check did not mark the report: %+v", rep)
+	}
+
+	srep := memsynth.StressSuite(context.Background(), tso, []*memsynth.Test{sb}, opts)
+	if srep.TestsRun != 1 || srep.Unexplained != 0 || srep.Seed != 3 {
+		t.Fatalf("suite report: %+v", srep)
+	}
+
+	target, err := memsynth.ParseRenderTarget("go")
+	if err != nil || target != memsynth.RenderGo {
+		t.Fatalf("ParseRenderTarget: %v, %v", target, err)
+	}
+	src, err := memsynth.RenderTest(memsynth.RenderGo, sb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "atomic.StoreInt64") || !strings.Contains(src, "atomic.LoadInt64") {
+		t.Fatalf("Go rendering missing atomics:\n%s", src)
+	}
+}
