@@ -32,16 +32,20 @@ race:
 # per model, written as machine-readable JSON (committed as BENCH_synth.json
 # so the perf trajectory is comparable across PRs), then the per-backend
 # comparison rows (enum vs sat, including the deadline-bounded case only
-# the sat backend completes) merged in as "backend_cases", and finally the
-# native stress-execution throughput rows merged in as "stress_cases".
-# BENCH_SHORT=1 shrinks the bounds for quick log-only CI runs; BENCH_OUT
-# redirects the output.
+# the sat backend completes) merged in as "backend_cases", the
+# fast-admissibility rows (admit off vs on, including the tso bound-8 case
+# plain enumeration cannot finish but the filtered enumeration must) merged
+# in as "admit_cases", and finally the native stress-execution throughput
+# rows merged in as "stress_cases". BENCH_SHORT=1 shrinks the bounds for
+# quick log-only CI runs; BENCH_OUT redirects the output.
 BENCH_OUT ?= BENCH_synth.json
 bench:
 	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
 		$(GO) test -count=1 -run '^TestBenchSnapshot$$' -v ./internal/synth
 	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
 		$(GO) test -count=1 -timeout 30m -run '^TestBenchBackends$$' -v ./internal/synth/satgen
+	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
+		$(GO) test -count=1 -timeout 30m -run '^TestBenchAdmit$$' -v ./internal/admit
 	BENCH_JSON=$(abspath $(BENCH_OUT)) BENCH_SHORT=$(BENCH_SHORT) \
 		$(GO) test -count=1 -run '^TestBenchStress$$' -v ./internal/stress
 

@@ -38,6 +38,7 @@ import (
 var (
 	workers   = flag.Int("workers", 0, "synthesis worker goroutines (0 = all CPUs)")
 	backendN  = flag.String("backend", "", "synthesis backend for every run (enum, sat; empty = default)")
+	admitN    = flag.String("admit", "", "fast admissibility filter for every run (auto, off; empty = auto)")
 	progress  = flag.Bool("progress", false, "stream live synthesis progress to stderr")
 	timeout   = flag.Duration("timeout", 0, "abort each synthesis after this long, keeping partial results (0 = none)")
 	storeDir  = flag.String("store", "", "content-addressed suite store directory (shared with memsynthd and memsynth -store)")
@@ -96,6 +97,7 @@ func openStore() *store.Store {
 func synthesize(m memsynth.Model, opts memsynth.Options) *memsynth.Result {
 	opts.Workers = *workers
 	opts.Backend = *backendN
+	opts.Admit = *admitN
 	if *progress {
 		opts.Progress = func(ev memsynth.ProgressEvent) {
 			if ev.Phase == memsynth.PhaseTick {

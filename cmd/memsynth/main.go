@@ -44,6 +44,7 @@ func main() {
 		modelFile = flag.String("model-file", "", "compile and use a cat-style model definition file instead of -model")
 		nolint    = flag.Bool("nolint", false, "skip the static analysis of -model-file definitions")
 		backendN  = flag.String("backend", "", "synthesis backend (enum, sat; empty = default); output is identical, speed differs")
+		admitN    = flag.String("admit", "", "fast admissibility filter (auto, off; empty = auto); output is identical, speed differs")
 		bound     = flag.Int("bound", 4, "maximum instruction count")
 		axiom     = flag.String("axiom", "union", "axiom suite to print, or 'union'")
 		format    = flag.String("format", "pretty", "output format: pretty, litmus, asm, or dot")
@@ -107,6 +108,7 @@ func main() {
 		MaxAddrs:   *addrs,
 		Workers:    *workers,
 		Backend:    *backendN,
+		Admit:      *admitN,
 	}
 	if *progress {
 		opts.Progress = printProgress
@@ -218,9 +220,10 @@ func main() {
 			partial = " (partial: interrupted)"
 		}
 		fmt.Fprintf(os.Stderr,
-			"model=%s bound=%d suite=%s tests=%d | programs=%d (raw %d) executions=%d elapsed=%v%s\n",
+			"model=%s bound=%d suite=%s tests=%d | programs=%d (raw %d) executions=%d fast-decided=%d elapsed=%v%s\n",
 			model.Name(), *bound, suite.Axiom, len(suite.Entries),
-			res.Stats.Programs, res.Stats.ProgramsRaw, res.Stats.Executions, res.Stats.Elapsed, partial)
+			res.Stats.Programs, res.Stats.ProgramsRaw, res.Stats.Executions, res.Stats.ExecutionsFast,
+			res.Stats.Elapsed, partial)
 		st := res.Stats.Stages
 		fmt.Fprintf(os.Stderr, "  stages: generation=%v dedupe=%v execution=%v minimality=%v (worker stages are CPU time)\n",
 			st.Generation.Round(time.Millisecond), st.Dedupe.Round(time.Millisecond),

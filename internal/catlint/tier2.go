@@ -64,6 +64,11 @@ func runTier2(r *Report, m memmodel.Model, posOf map[string]cat.Pos, opts Option
 	_ = synth.EnumeratePrograms(vocab, genOpts, func(t *litmus.Test) bool {
 		// One static context and one pooled view per program; Reset stamps
 		// each candidate execution through it (the PR-4 amortization).
+		// Deliberately no fast-admissibility filter (internal/admit) here:
+		// these verdicts quantify over every candidate execution —
+		// including ones no consistent extension admits — so pruning
+		// refuted reads-from assignments would change vacuity/redundancy
+		// answers, not just speed.
 		ctx := exec.NewStaticCtx(t, exec.Perturb{})
 		v := ctx.NewView()
 		exec.Enumerate(t, exec.EnumerateOptions{UseSC: vocab.UsesSC}, func(x *exec.Execution) bool {

@@ -8,6 +8,18 @@ type EnumerateOptions struct {
 	// such as SCC, whose axioms consult an sc order). When false, SC is
 	// left nil.
 	UseSC bool
+	// RFFilter, when non-nil, is consulted once per complete reads-from
+	// assignment before the coherence (and sc) orders extending it are
+	// enumerated. Returning false skips every execution of that
+	// assignment — none is visited or counted — and enumeration continues
+	// with the next assignment. The slice is indexed by event ID (-1 =
+	// initial read) and reused between calls; it must not be retained.
+	RFFilter func(rf []int) bool
+	// Stop, when non-nil, is polled once per complete rf assignment
+	// (before RFFilter); returning true aborts the enumeration. It
+	// complements early exit through the visit callback, which is never
+	// reached for assignments RFFilter rejects.
+	Stop func() bool
 }
 
 // Enumerate visits every well-formed candidate execution of t: every
@@ -92,6 +104,12 @@ func Enumerate(t *litmus.Test, opts EnumerateOptions, visit func(*Execution) boo
 	var enumRF func(i int) bool
 	enumRF = func(i int) bool {
 		if i == len(reads) {
+			if opts.Stop != nil && opts.Stop() {
+				return false
+			}
+			if opts.RFFilter != nil && !opts.RFFilter(x.RF) {
+				return true
+			}
 			return enumCO(0)
 		}
 		r := reads[i]
@@ -155,6 +173,31 @@ func CountExecutions(t *litmus.Test, opts EnumerateOptions) int {
 	for _, e := range t.Events {
 		if e.Kind == litmus.KRead {
 			total *= writesPerAddr[e.Addr] + 1
+		}
+	}
+	for _, w := range writesPerAddr {
+		total *= factorial(w)
+	}
+	if opts.UseSC && scFences > 0 {
+		total *= factorial(scFences)
+	}
+	return total
+}
+
+// ExtensionsPerRF returns the number of candidate executions sharing any
+// one reads-from assignment of t: the product of the per-address
+// coherence permutations (times the sc-fence permutations under UseSC).
+// It is what one RFFilter rejection skips.
+func ExtensionsPerRF(t *litmus.Test, opts EnumerateOptions) int {
+	total := 1
+	writesPerAddr := make([]int, t.NumAddrs())
+	scFences := 0
+	for _, e := range t.Events {
+		switch {
+		case e.Kind == litmus.KWrite:
+			writesPerAddr[e.Addr]++
+		case e.Kind == litmus.KFence && e.Fence == litmus.FSC:
+			scFences++
 		}
 	}
 	for _, w := range writesPerAddr {

@@ -161,6 +161,7 @@ func (s *Server) lead(f *flight, model memmodel.Model, opts synth.Options, pri c
 		res, err := s.cluster.Synthesize(f.runCtx, model, opts, pri, f.observe)
 		switch {
 		case err == nil:
+			s.metrics.admitFast.Add(int64(res.Stats.ExecutionsFast))
 			f.ss, f.err = s.store.Put(res)
 			return
 		case errors.Is(err, cluster.ErrSaturated):
@@ -198,6 +199,7 @@ func (s *Server) lead(f *flight, model memmodel.Model, opts synth.Options, pri c
 	case res.Stats.Interrupted:
 		f.err = errAbandoned
 	default:
+		s.metrics.admitFast.Add(int64(res.Stats.ExecutionsFast))
 		f.ss, f.err = s.store.Put(res)
 	}
 }

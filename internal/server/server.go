@@ -30,6 +30,12 @@
 //	                                 text body); returns the full catlint
 //	                                 report without registering anything
 //	                                 (?bound= overrides the tier-2 bound)
+//	GET    /v1/backends              registered synthesis backends with
+//	                                 per-model fallback reasons
+//	GET    /v1/admit                 fast-admissibility capability matrix:
+//	                                 per builtin model, whether the explore
+//	                                 phase can use the polynomial
+//	                                 reads-from consistency check
 //	GET    /healthz                  liveness probe
 //	GET    /metrics                  expvar counters (JSON)
 //
@@ -53,6 +59,7 @@ import (
 	"strconv"
 	"time"
 
+	"memsynth/internal/admit"
 	"memsynth/internal/cat"
 	"memsynth/internal/catlint"
 	"memsynth/internal/cluster"
@@ -137,6 +144,11 @@ type metrics struct {
 	// iterations executed across them; stressUnexplained accumulates
 	// iterations whose observed outcome the model forbids.
 	stressRuns, stressIterations, stressUnexplained *expvar.Int
+	// admitFast accumulates executions decided by the fast-admissibility
+	// filter across engine runs (without being enumerated); admitFallbacks
+	// counts synthesize requests whose model has no fast-admissibility
+	// algorithm and therefore ran on full enumeration.
+	admitFast, admitFallbacks *expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -164,6 +176,8 @@ func newMetrics() *metrics {
 	m.stressRuns = mk("stress_runs")
 	m.stressIterations = mk("stress_iterations")
 	m.stressUnexplained = mk("stress_unexplained_outcomes")
+	m.admitFast = mk("admit_fast_decisions")
+	m.admitFallbacks = mk("admit_fallbacks")
 	return m
 }
 
@@ -240,6 +254,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/models/lint", s.handleModelLint)
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /v1/admit", s.handleAdmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuiteList)
 	s.mux.HandleFunc("GET /v1/suites/{digest}", s.handleSuiteGet)
@@ -279,6 +294,11 @@ type SynthesizeRequest struct {
 	// cache digest — an unknown name is rejected with 422 listing the
 	// known backends.
 	Backend string `json:"backend,omitempty"`
+	// Admit controls the fast-admissibility filter on the enumeration hot
+	// path: "" or "auto" uses it for models with a registered algorithm,
+	// "off" forces exhaustive enumeration. Like Backend, the switch never
+	// changes the produced suites or the cache digest.
+	Admit string `json:"admit,omitempty"`
 	// Async enqueues a job and returns 202 with its ID instead of
 	// blocking until the suite is ready.
 	Async bool `json:"async,omitempty"`
@@ -456,6 +476,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := req.RequestOptions.SynthOptions()
 	opts.Backend = backendName
+	opts.Admit = req.Admit
 	if err := opts.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -466,6 +487,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if native, reason := sup.Supports(model); !native {
 			s.logf("warning: backend %s falls back to the enum engine for model %s: %s",
 				backendName, model.Name(), reason)
+		}
+	}
+	if opts.Admit != "off" {
+		if ok, reason := admit.Supports(model); !ok {
+			s.metrics.admitFallbacks.Add(1)
+			s.logf("admit: model %s falls back to exhaustive enumeration: %s", model.Name(), reason)
 		}
 	}
 	switch req.Format {
@@ -576,6 +603,15 @@ type backendInfo struct {
 	// them on the enumerative engine instead of its native search; absent
 	// for models (and backends) handled natively.
 	Fallbacks map[string]string `json:"fallbacks,omitempty"`
+}
+
+// handleAdmit reports, per builtin model, whether the enumeration engine
+// has a fast-admissibility algorithm for it (and why not, when it does
+// not). Models registered from cat definitions always fall back, so they
+// are reported only through their absence from the builtin capability
+// matrix.
+func (s *Server) handleAdmit(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, admit.Models())
 }
 
 // handleBackends lists the registered synthesis backends and, per visible

@@ -591,6 +591,113 @@ func TestBackendsEndpointAndSelection(t *testing.T) {
 	}
 }
 
+// TestAdmitEndpointAndMetrics covers the fast-admissibility surface of
+// the service: GET /v1/admit (the per-model capability matrix), the
+// admit_fast_decisions / admit_fallbacks counters, the per-request
+// fallback-reason log line, cache identity across admit modes, and 400
+// rejection of unknown admit modes.
+func TestAdmitEndpointAndMetrics(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var logs []string
+	s := New(Config{Store: st, MaxJobs: 2, Logf: func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	logged := func(substr string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, l := range logs {
+			if strings.Contains(l, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/admit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caps []struct {
+		Model     string `json:"model"`
+		Supported bool   `json:"supported"`
+		Reason    string `json:"reason"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&caps)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := make(map[string]struct {
+		Supported bool
+		Reason    string
+	})
+	for _, c := range caps {
+		byModel[c.Model] = struct {
+			Supported bool
+			Reason    string
+		}{c.Supported, c.Reason}
+	}
+	for _, name := range []string{"sc", "tso"} {
+		if c := byModel[name]; !c.Supported || c.Reason != "" {
+			t.Errorf("/v1/admit for %s: %+v, want supported with no reason", name, c)
+		}
+	}
+	if c, ok := byModel["power"]; !ok || c.Supported || c.Reason == "" {
+		t.Errorf("/v1/admit for power: %+v, want unsupported with a reason", c)
+	}
+
+	// A model with no algorithm falls back: counted and logged per request.
+	resp1, data := postSynthesize(t, ts.URL, `{"model":"power","max_events":3}`)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("power POST: %d: %s", resp1.StatusCode, data)
+	}
+	if !logged("admit: model power falls back to exhaustive enumeration") {
+		t.Errorf("missing admit fallback log; logs: %q", logs)
+	}
+	if n, _ := readMetrics(t, ts.URL)["admit_fallbacks"].(float64); n != 1 {
+		t.Errorf("admit_fallbacks = %v, want 1", n)
+	}
+
+	// A supported model takes the fast path and accumulates fast decisions.
+	resp2, data := postSynthesize(t, ts.URL, `{"model":"tso","max_events":4}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("tso POST: %d: %s", resp2.StatusCode, data)
+	}
+	m := readMetrics(t, ts.URL)
+	if n, _ := m["admit_fast_decisions"].(float64); n <= 0 {
+		t.Errorf("admit_fast_decisions = %v, want > 0 after a tso run", n)
+	}
+	if n, _ := m["admit_fallbacks"].(float64); n != 1 {
+		t.Errorf("admit_fallbacks = %v after supported run, want still 1", n)
+	}
+
+	// The switch never shifts the cache digest: an admit-off request for
+	// the same (model, bound) must hit the suite the fast run stored.
+	resp3, data := postSynthesize(t, ts.URL, `{"model":"tso","max_events":4,"admit":"off"}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("admit-off POST: %d: %s", resp3.StatusCode, data)
+	}
+	if got := resp3.Header.Get("X-Memsynth-Cached"); got != "true" {
+		t.Errorf("admit-off request after fast run: cached = %q, want true", got)
+	}
+
+	resp4, data := postSynthesize(t, ts.URL, `{"model":"tso","max_events":3,"admit":"fast"}`)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown admit mode: status %d (%s), want 400", resp4.StatusCode, data)
+	}
+}
+
 // BenchmarkServerSynthesizeCached measures the service hot path: a
 // synthesize POST served from a warmed store.
 func BenchmarkServerSynthesizeCached(b *testing.B) {

@@ -108,6 +108,7 @@ type StatsManifest struct {
 	ProgramsRaw       int   `json:"programs_raw"`
 	Programs          int   `json:"programs"`
 	Executions        int   `json:"executions"`
+	ExecutionsFast    int   `json:"executions_fast,omitempty"`
 	ForbiddenOutcomes int   `json:"forbidden_outcomes,omitempty"`
 	ElapsedNS         int64 `json:"elapsed_ns"`
 	GenerationNS      int64 `json:"generation_ns"`
@@ -121,6 +122,7 @@ func statsManifest(st synth.Stats) StatsManifest {
 		ProgramsRaw:       st.ProgramsRaw,
 		Programs:          st.Programs,
 		Executions:        st.Executions,
+		ExecutionsFast:    st.ExecutionsFast,
 		ForbiddenOutcomes: st.ForbiddenOutcomes,
 		ElapsedNS:         int64(st.Elapsed),
 		GenerationNS:      int64(st.Stages.Generation),
@@ -135,6 +137,7 @@ func (sm StatsManifest) synthStats() synth.Stats {
 		ProgramsRaw:       sm.ProgramsRaw,
 		Programs:          sm.Programs,
 		Executions:        sm.Executions,
+		ExecutionsFast:    sm.ExecutionsFast,
 		ForbiddenOutcomes: sm.ForbiddenOutcomes,
 		Elapsed:           time.Duration(sm.ElapsedNS),
 		Stages: synth.StageTimes{

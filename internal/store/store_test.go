@@ -101,7 +101,8 @@ func TestPutGetRoundTrip(t *testing.T) {
 			t.Errorf("axiom %s not round-tripped", name)
 		}
 	}
-	if rt.Stats.Programs != res.Stats.Programs || rt.Stats.Executions != res.Stats.Executions {
+	if rt.Stats.Programs != res.Stats.Programs || rt.Stats.Executions != res.Stats.Executions ||
+		rt.Stats.ExecutionsFast != res.Stats.ExecutionsFast {
 		t.Errorf("stats not round-tripped: %+v vs %+v", rt.Stats, res.Stats)
 	}
 

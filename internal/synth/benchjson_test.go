@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"testing"
 
+	"memsynth/internal/admit"
 	"memsynth/internal/memmodel"
 	"memsynth/internal/minimal"
 )
@@ -63,12 +64,16 @@ func benchExplore(b *testing.B, m memmodel.Model, bound int) {
 		perSize = append(perSize, e.generateAndDedupe(n))
 	}
 	checker := minimal.NewChecker(m)
+	var adm *admit.Checker
+	if e.admitOn {
+		adm = admit.NewChecker(m)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, winners := range perSize {
 			for _, w := range winners {
-				e.processProgram(checker, nil, w.test)
+				e.processProgram(checker, adm, nil, w.test)
 			}
 		}
 	}
@@ -100,6 +105,7 @@ type benchRecord struct {
 	// Workload shape and throughput from one representative run.
 	Programs       int     `json:"programs"`
 	Executions     int     `json:"executions"`
+	ExecutionsFast int     `json:"executions_fast,omitempty"`
 	Entries        int     `json:"union_entries"`
 	ExecsPerSecond float64 `json:"executions_per_second"`
 }
@@ -145,6 +151,7 @@ func TestBenchSnapshot(t *testing.T) {
 		res := Synthesize(c.model, Options{MaxEvents: c.bound})
 		rec.Programs = res.Stats.Programs
 		rec.Executions = res.Stats.Executions
+		rec.ExecutionsFast = res.Stats.ExecutionsFast
 		rec.Entries = len(res.Union.Entries)
 		if explore.NsPerOp() > 0 {
 			rec.ExecsPerSecond = float64(res.Stats.Executions) / (float64(explore.NsPerOp()) / 1e9)

@@ -24,6 +24,16 @@ type Options struct {
 	// byte-identical suites, so Normalize strips the field and backend
 	// choice never affects store digests.
 	Backend string
+	// Admit selects the fast-admissibility filter (internal/admit), which
+	// refutes reads-from assignments that provably cannot extend into a
+	// minimal execution before their coherence orders are enumerated. ""
+	// or "auto" enables it whenever the model has a registered algorithm
+	// (the builtin sc and tso models) and silently falls back to plain
+	// enumeration otherwise; "off" disables it everywhere. The filter is
+	// refutation-sound — admitted assignments are still enumerated and
+	// re-confirmed by the minimality checker — so suites and store digests
+	// are byte-identical either way, and Normalize strips the field.
+	Admit string
 	// Workers fans the per-program work out over this many goroutines
 	// (default runtime.NumCPU()). Results are identical for every worker
 	// count: dedupe keeps the generation-order-first representative of
@@ -85,6 +95,11 @@ func (o Options) Validate() error {
 			return err
 		}
 	}
+	switch o.Admit {
+	case "", "auto", "off":
+	default:
+		return fmt.Errorf("synth: Options.Admit must be \"\", \"auto\", or \"off\", got %q", o.Admit)
+	}
 	return nil
 }
 
@@ -96,6 +111,7 @@ func (o Options) Validate() error {
 func (o Options) Normalize() Options {
 	o = o.withDefaults()
 	o.Backend = ""
+	o.Admit = ""
 	o.Workers = 0
 	o.Progress = nil
 	o.ProgressInterval = 0

@@ -30,8 +30,12 @@ type ProgressEvent struct {
 	ProgramsRaw int
 	// Programs counts distinct canonical programs discovered so far.
 	Programs int
-	// Executions counts candidate executions checked so far.
+	// Executions counts candidate executions enumerated and checked so
+	// far.
 	Executions int
+	// ExecutionsFast counts candidate executions decided by the fast
+	// admissibility filter so far without being enumerated.
+	ExecutionsFast int
 	// Entries counts distinct minimal tests (union suite keys) found.
 	Entries int
 	// ForbiddenOutcomes counts distinct forbidden (program, outcome)
@@ -74,6 +78,7 @@ func (p *progressSink) emit(phase string, interrupted bool) {
 		ProgramsRaw:       int(p.e.programsRaw.Load()),
 		Programs:          int(p.e.programs.Load()),
 		Executions:        int(p.e.executions.Load()),
+		ExecutionsFast:    int(p.e.executionsFast.Load()),
 		Entries:           int(p.e.entries.Load()),
 		ForbiddenOutcomes: int(p.e.forbidden.Load()),
 		Elapsed:           time.Since(p.e.start),

@@ -61,6 +61,9 @@ func runBenchCase(t *testing.T, model string, bound, maxAddrs int, backend strin
 		MaxEvents: bound,
 		MaxAddrs:  maxAddrs,
 		Backend:   backend,
+		// Fast admissibility stays off here so these rows keep comparing
+		// the raw backends; the admit_cases section measures the filter.
+		Admit: "off",
 	})
 	elapsed := time.Since(start)
 	if err != nil {

@@ -172,6 +172,7 @@ func (e *engine) runShard(ctx context.Context, shard ShardSpec) *ShardResult {
 	out.Stats.ProgramsRaw = int(e.programsRaw.Load())
 	out.Stats.Programs = int(e.programs.Load())
 	out.Stats.Executions = int(e.executions.Load())
+	out.Stats.ExecutionsFast = int(e.executionsFast.Load())
 	out.Stats.Entries = int(e.entries.Load())
 	out.Stats.Stages = StageTimes{
 		Generation: time.Duration(e.genNS.Load()),
@@ -296,6 +297,7 @@ func MergeShards(m memmodel.Model, opts Options, shards []*ShardResult) (*Result
 			res.Stats.Stages.Generation = sr.Stats.Stages.Generation
 		}
 		res.Stats.Executions += sr.Stats.Executions
+		res.Stats.ExecutionsFast += sr.Stats.ExecutionsFast
 		res.Stats.ForbiddenOutcomes += sr.Stats.ForbiddenOutcomes
 		res.Stats.Stages.Dedupe += sr.Stats.Stages.Dedupe
 		res.Stats.Stages.Execution += sr.Stats.Stages.Execution

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memsynth/internal/admit"
 	"memsynth/internal/canon"
 	"memsynth/internal/exec"
 	"memsynth/internal/litmus"
@@ -119,8 +120,17 @@ type Stats struct {
 	// Programs counts distinct canonical programs whose executions were
 	// explored.
 	Programs int
-	// Executions counts candidate executions checked.
+	// Executions counts candidate executions actually enumerated and
+	// checked. It deliberately excludes fast-decided work so partial
+	// (interrupted) runs report the two kinds of explore progress
+	// separately instead of conflating them.
 	Executions int
+	// ExecutionsFast counts candidate executions decided by the fast
+	// admissibility filter (internal/admit) without being enumerated:
+	// each refuted reads-from assignment accounts for all of its
+	// coherence/sc extensions. On a completed run Executions +
+	// ExecutionsFast equals the admit-off Executions count.
+	ExecutionsFast int
 	// ForbiddenOutcomes counts distinct canonical forbidden
 	// (program, outcome) pairs (only when Options.CountForbidden).
 	ForbiddenOutcomes int
@@ -152,7 +162,12 @@ type Result struct {
 	// Backend names the backend that produced this result ("enum",
 	// "sat", ...). It is provenance only: every backend produces
 	// byte-identical suites, so it is excluded from store digests.
-	Backend  string
+	Backend string
+	// Admit records whether the fast-admissibility filter ran: "fast"
+	// when active, "off" when disabled by Options.Admit or unsupported by
+	// the model (internal/admit). Like Backend it is provenance only and
+	// excluded from store digests.
+	Admit    string
 	PerAxiom map[string]*Suite
 	Union       *Suite
 	Stats       Stats
@@ -215,11 +230,16 @@ type engine struct {
 	stopped atomic.Bool  // set when ctx is done; checked at cancellation points
 	size    atomic.Int32 // instruction-count phase currently running
 
-	programsRaw atomic.Int64
-	programs    atomic.Int64
-	executions  atomic.Int64
-	entries     atomic.Int64
-	forbidden   atomic.Int64
+	programsRaw    atomic.Int64
+	programs       atomic.Int64
+	executions     atomic.Int64
+	executionsFast atomic.Int64
+	entries        atomic.Int64
+	forbidden      atomic.Int64
+
+	// admitOn enables the per-worker fast-admissibility checkers: the
+	// model has a registered algorithm and Options.Admit did not opt out.
+	admitOn bool
 
 	genNS    atomic.Int64
 	dedupeNS atomic.Int64
@@ -253,6 +273,15 @@ func newEngine(m memmodel.Model, opts Options) *engine {
 		},
 	}
 	e.res.ModelSource, e.res.ModelDigest = memmodel.SourceOf(m)
+	if opts.Admit != "off" {
+		if ok, _ := admit.Supports(m); ok {
+			e.admitOn = true
+		}
+	}
+	e.res.Admit = "off"
+	if e.admitOn {
+		e.res.Admit = "fast"
+	}
 	for _, a := range e.axioms {
 		e.res.PerAxiom[a.Name] = newSuite(m.Name(), a.Name)
 	}
@@ -307,6 +336,7 @@ func (e *engine) run(ctx context.Context) *Result {
 	e.res.Stats.ProgramsRaw = int(e.programsRaw.Load())
 	e.res.Stats.Programs = int(e.programs.Load())
 	e.res.Stats.Executions = int(e.executions.Load())
+	e.res.Stats.ExecutionsFast = int(e.executionsFast.Load())
 	e.res.Stats.Entries = int(e.entries.Load())
 	e.res.Stats.Stages = StageTimes{
 		Generation: time.Duration(e.genNS.Load()),
@@ -393,6 +423,10 @@ func (e *engine) explore(winners []progClaim) [][]foundEntry {
 		go func() {
 			defer wg.Done()
 			checker := minimal.NewChecker(e.model)
+			var adm *admit.Checker
+			if e.admitOn {
+				adm = admit.NewChecker(e.model)
+			}
 			var guide ProgramGuide
 			if e.guideFactory != nil {
 				guide = e.guideFactory()
@@ -402,7 +436,7 @@ func (e *engine) explore(winners []progClaim) [][]foundEntry {
 				if i >= len(winners) || e.stopped.Load() {
 					return
 				}
-				results[i] = e.processProgram(checker, guide, winners[i].test)
+				results[i] = e.processProgram(checker, adm, guide, winners[i].test)
 			}
 		}()
 	}
@@ -425,11 +459,15 @@ func (e *engine) merge(results [][]foundEntry) {
 
 // processProgram explores the executions of t and applies the minimality
 // criterion through the caller's pooled checker; each goroutine must pass
-// its own. When a guide is supplied and accepts the program, only its
-// candidates are checked; a declined program falls back to exhaustive
-// enumeration. On cancellation mid-program the partial findings are
-// discarded (counters keep what was actually checked).
-func (e *engine) processProgram(c *minimal.Checker, g ProgramGuide, t *litmus.Test) []foundEntry {
+// its own. A non-nil adm filters reads-from assignments before their
+// coherence orders are enumerated: a refuted assignment's extensions are
+// counted as fast-decided instead of visited (the filter is sound, so
+// every finding an unfiltered run makes survives). When a guide is
+// supplied and accepts the program, only its candidates are checked; a
+// declined program falls back to exhaustive enumeration. On cancellation
+// mid-program the partial findings are discarded (counters keep what was
+// actually checked).
+func (e *engine) processProgram(c *minimal.Checker, adm *admit.Checker, g ProgramGuide, t *litmus.Test) []foundEntry {
 	if g != nil {
 		if found, ok := e.processProgramGuided(c, g, t); ok {
 			return found
@@ -440,12 +478,36 @@ func (e *engine) processProgram(c *minimal.Checker, g ProgramGuide, t *litmus.Te
 	}
 	c.Bind(t)
 	var found []foundEntry
-	var execs, minNS, dedupeNS int64
+	var execs, fastExecs, minNS, dedupeNS int64
 	completed := true
 	t0 := time.Now()
 	// sc orders are quantified inside the checker (they are auxiliary,
 	// not part of the outcome), so enumeration here covers rf and co only.
-	exec.Enumerate(t, exec.EnumerateOptions{}, func(x *exec.Execution) bool {
+	eopts := exec.EnumerateOptions{}
+	if adm != nil {
+		adm.Bind(t, c.Apps())
+		perRF := int64(exec.ExtensionsPerRF(t, eopts))
+		var rfPolls int64
+		// The visit callback polls for cancellation too, but a heavily
+		// filtered program may visit almost nothing, so poll at the rf
+		// level as well.
+		eopts.Stop = func() bool {
+			rfPolls++
+			if rfPolls&0x3F == 0x3F && e.stopped.Load() {
+				completed = false
+				return true
+			}
+			return false
+		}
+		eopts.RFFilter = func(rf []int) bool {
+			if adm.Decide(rf) {
+				return true
+			}
+			fastExecs += perRF
+			return false
+		}
+	}
+	exec.Enumerate(t, eopts, func(x *exec.Execution) bool {
 		if execs&0xFF == 0xFF && e.stopped.Load() {
 			completed = false
 			return false
@@ -488,6 +550,7 @@ func (e *engine) processProgram(c *minimal.Checker, g ProgramGuide, t *litmus.Te
 	e.minNS.Add(minNS)
 	e.dedupeNS.Add(dedupeNS)
 	e.executions.Add(execs)
+	e.executionsFast.Add(fastExecs)
 	if !completed {
 		return nil
 	}
