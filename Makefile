@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race lint bench bench-paper fuzz serve cluster cluster-test stress
+.PHONY: check build test vet race lint analyze bench bench-paper fuzz serve cluster cluster-test stress
 
 check: vet build race lint
 
@@ -16,8 +16,29 @@ lint:
 	$(GO) run ./cmd/catlint -strict examples/cat/*.cat
 	$(GO) run ./cmd/catlint -builtins
 
+# vet is the blocking static-analysis gate: the stock toolchain vet plus
+# memvet, the engine's own analyzers (maporder, inplacealias, poolescape,
+# detpath — DESIGN.md §16). Any memvet finding fails `make check`.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/memvet ./...
+
+# Extended analysis beyond the blocking gate: staticcheck blocks when the
+# binary is available (CI installs it; locally it is skipped rather than
+# fetched, since builds must work offline) and govulncheck is advisory —
+# a vulnerable dependency report should prompt an upgrade, not mask an
+# unrelated PR.
+analyze: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "analyze: staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "analyze: govulncheck findings are advisory"; \
+	else \
+		echo "analyze: govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -16,6 +16,12 @@
 // all), 2 on usage or I/O errors. In -diff mode: 0 when the definitions
 // are equivalent up to the bound, 1 when a distinguishing test was found
 // (and printed), 2 on errors.
+//
+// -json changes only the rendering, never the exit code: a run that
+// exits 1 in human mode exits 1 in JSON mode too, so CI can gate on the
+// status while archiving the machine-readable report. The findings are
+// the shared internal/findings schema, identical to memvet -json (which
+// additionally populates the "file" field; see cmd/memvet).
 package main
 
 import (

@@ -1,0 +1,110 @@
+// Command memvet statically checks the engine's Go source against the
+// invariants the synthesis pipeline depends on but the compiler cannot
+// see (DESIGN.md §16): map iteration order must never reach suite
+// output, digests, streams, or list responses unsorted (maporder);
+// internal/relation's in-place operations must respect their aliasing
+// contracts (inplacealias); pooled exec.View/exec.StaticCtx values must
+// not escape their Reset lifetime outside the owner packages
+// (poolescape); and the digest/normalization/canonical-key call graph
+// must be free of wall-clock, global randomness, and map-formatting
+// (detpath). It is the multichecker-style driver for internal/analysis,
+// run by `make vet` and CI as a blocking gate.
+//
+// Usage:
+//
+//	memvet [packages...]          # default ./...
+//	memvet -json ./...            # machine-readable findings
+//	memvet -only maporder ./...   # run a subset of analyzers
+//
+// Exit status: 0 when clean, 1 when any finding was reported, 2 on
+// usage or load errors — the same contract as cmd/catlint, and like
+// catlint the -json flag changes only the rendering, never the exit
+// code. Findings are the shared internal/findings schema; memvet always
+// populates the "file" field because one run spans the whole tree.
+//
+// Deliberate exceptions are annotated in the source: //memvet:ordered
+// (checked — an annotation that suppresses nothing is itself reported),
+// //memvet:aliasok, //memvet:escapes, and //memvet:detroot to extend
+// the deterministic call graph. See DESIGN.md §16 for the grammar.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memsynth/internal/analysis"
+	"memsynth/internal/findings"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON (shared internal/findings schema)")
+		only    = flag.String("only", "", "comma-separated analyzer subset (maporder,inplacealias,poolescape,detpath)")
+		list    = flag.Bool("analyzers", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "memvet: unknown analyzer %q (have maporder, inplacealias, poolescape, detpath)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memvet:", err)
+		os.Exit(2)
+	}
+
+	results := analysis.Run(analyzers, pkgs)
+	if *jsonOut {
+		fs := make([]findings.Finding, len(results))
+		for i, r := range results {
+			fs[i] = r.Finding
+		}
+		data, err := json.MarshalIndent(fs, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memvet:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, r := range results {
+			fmt.Println(r.Finding)
+		}
+	}
+	if len(results) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,231 @@
+// Package analysistest runs internal/analysis analyzers over testdata
+// fixture packages and checks their diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// without the dependency.
+//
+// Fixtures live in a GOPATH-style tree: testdata/src/<importpath>/*.go.
+// Stub packages may shadow real import paths (a fixture at
+// testdata/src/memsynth/internal/relation is imported as
+// "memsynth/internal/relation"), so analyzers keyed on real package
+// paths are exercised with miniature stand-ins. Standard-library imports
+// resolve through `go list -export` build-cache export data.
+//
+// Expectations are trailing comments of the form
+//
+//	keys = append(keys, k) // want `regexp` `another`
+//
+// where each backquoted (or double-quoted) pattern must match the
+// message of a distinct diagnostic reported on that line, and every
+// diagnostic must be matched by some pattern.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memsynth/internal/analysis"
+)
+
+func parseImportsOnly(fset *token.FileSet, filename string) (*ast.File, error) {
+	return parser.ParseFile(fset, filename, nil, parser.ImportsOnly)
+}
+
+// Run loads each fixture package (an import path under testdata/src),
+// runs the analyzer over all of them in one pass (so module-level
+// analyzers see the full set), and compares diagnostics against the
+// fixtures' // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs := load(t, testdata, pkgPaths)
+	results := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	checkWants(t, pkgs, results)
+}
+
+// load type-checks the fixture packages plus any fixture packages they
+// import, returning only the requested ones (stubs are dependencies, not
+// analysis subjects).
+func load(t *testing.T, testdata string, pkgPaths []string) []*analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	checked := make(map[string]*analysis.Package)
+	deps := make(map[string]*types.Package)
+
+	// Collect the stdlib import closure of every fixture file reachable
+	// from the requested packages so one `go list -export` resolves it.
+	var stdlib []string
+	seenStd := make(map[string]bool)
+	var scan func(path string)
+	seenFix := make(map[string]bool)
+	var order []string
+	scan = func(path string) {
+		if seenFix[path] {
+			return
+		}
+		seenFix[path] = true
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		for _, imp := range fixtureImports(t, fset, dir) {
+			if dirExists(filepath.Join(testdata, "src", filepath.FromSlash(imp))) {
+				scan(imp)
+			} else if !seenStd[imp] {
+				seenStd[imp] = true
+				stdlib = append(stdlib, imp)
+			}
+		}
+		order = append(order, path) // dependencies first
+	}
+	for _, p := range pkgPaths {
+		scan(p)
+	}
+	sort.Strings(stdlib)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := analysis.StdlibExports(wd, stdlib...)
+	if err != nil {
+		t.Fatalf("resolving stdlib exports: %v", err)
+	}
+
+	for _, path := range order {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		files, err := fixtureFiles(dir)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		pkg, err := analysis.CheckSource(fset, path, files, deps, exports)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", path, err)
+		}
+		checked[path] = pkg
+		deps[path] = pkg.Types
+	}
+
+	var out []*analysis.Package
+	for _, p := range pkgPaths {
+		out = append(out, checked[p])
+	}
+	return out
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+func fixtureImports(t *testing.T, fset *token.FileSet, dir string) []string {
+	t.Helper()
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range files {
+		f, err := parseImportsOnly(fset, name)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p != "" && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A want is one expected-diagnostic pattern at a file:line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func checkWants(t *testing.T, pkgs []*analysis.Package, results []analysis.Result) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					i := strings.Index(text, "// want ")
+					if i < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(text[i+len("// want "):], -1) {
+						raw := m[1]
+						if raw == "" {
+							raw = m[2]
+							if unq, err := strconv.Unquote(`"` + raw + `"`); err == nil {
+								raw = unq
+							}
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, r := range results {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != r.File || w.line != r.Line {
+				continue
+			}
+			if w.pattern.MatchString(r.Msg) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d:%d: %s", r.File, r.Line, r.Col, r.Msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Annotation names, the grammar of //memvet: comments (DESIGN.md §16).
+// An annotation is a line comment of the form
+//
+//	//memvet:NAME [free-text reason]
+//
+// attached to the statement or declaration that starts on the same line
+// or on the line immediately below the comment. The reason is for
+// humans; the analyzers key on NAME alone.
+const (
+	// AnnotOrdered silences maporder on a map-range statement whose
+	// iteration-order dependence is deliberate (output is a set, an
+	// accumulator is commutative, ...). maporder verifies the annotation
+	// is load-bearing and reports it when nothing underneath would have
+	// been flagged.
+	AnnotOrdered = "ordered"
+	// AnnotAliasOK silences inplacealias on a call whose aliasing is
+	// intended despite matching the contract table.
+	AnnotAliasOK = "aliasok"
+	// AnnotEscapes silences poolescape on a store/return/capture that
+	// deliberately extends a pooled value's lifetime.
+	AnnotEscapes = "escapes"
+	// AnnotDetRoot marks a function declaration as an additional root of
+	// the detpath deterministic call graph, beyond the built-in table.
+	AnnotDetRoot = "detroot"
+)
+
+// An Annotation is one //memvet: comment occurrence.
+type Annotation struct {
+	Name string
+	// Reason is the free text after the name, if any.
+	Reason string
+	Pos    token.Pos
+	// Line is the comment's own line; the annotation governs this line
+	// and the next.
+	Line string
+	used bool
+}
+
+// An AnnotationSet indexes a package's //memvet: comments by file and
+// line for same-line / line-above lookup.
+type AnnotationSet struct {
+	fset *token.FileSet
+	// byLine maps filename -> line of the annotated code -> annotation.
+	// A comment on its own line annotates the line below; a trailing
+	// comment annotates its own line. Both registrations point at the
+	// same *Annotation so use-tracking is shared.
+	byLine map[string]map[int]*Annotation
+	all    []*Annotation
+}
+
+// Annotations scans (and caches) the package's //memvet: comments.
+func (pkg *Package) Annotations() *AnnotationSet {
+	if pkg.annotations != nil {
+		return pkg.annotations
+	}
+	set := &AnnotationSet{fset: pkg.Fset, byLine: make(map[string]map[int]*Annotation)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseAnnotation(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				a := &Annotation{Name: name, Reason: reason, Pos: c.Pos()}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*Annotation)
+					set.byLine[pos.Filename] = lines
+				}
+				// Trailing comments annotate their own line; standalone
+				// comments annotate the next. Registering both lines
+				// covers either placement with one shared entry.
+				lines[pos.Line] = a
+				if _, taken := lines[pos.Line+1]; !taken {
+					lines[pos.Line+1] = a
+				}
+				set.all = append(set.all, a)
+			}
+		}
+	}
+	pkg.annotations = set
+	return set
+}
+
+func parseAnnotation(text string) (name, reason string, ok bool) {
+	const prefix = "//memvet:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	name, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(reason), name != ""
+}
+
+// Lookup returns the annotation named name governing the line of pos, or
+// nil. Looking up does not mark the annotation used: an annotation only
+// counts as load-bearing when it suppresses an actual finding, which the
+// analyzer records by calling Use.
+func (s *AnnotationSet) Lookup(pos token.Pos, name string) *Annotation {
+	if s == nil || !pos.IsValid() {
+		return nil
+	}
+	p := s.fset.Position(pos)
+	a := s.byLine[p.Filename][p.Line]
+	if a == nil || a.Name != name {
+		return nil
+	}
+	return a
+}
+
+// Use marks a as load-bearing: it suppressed a finding.
+func (a *Annotation) Use() { a.used = true }
+
+// Unused returns the annotations named name that no At lookup consumed,
+// in source order. maporder reports these: an annotation that silences
+// nothing is stale and must be deleted, otherwise it would mask a future
+// regression at the same site.
+func (s *AnnotationSet) Unused(name string) []*Annotation {
+	var out []*Annotation
+	for _, a := range s.all {
+		if a.Name == name && !a.used {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detRoots is the built-in table of deterministic-path roots: the
+// functions whose transitive callees must be bit-for-bit reproducible
+// because their output is content-addressed or deduplicated. recv is
+// the receiver type name ("" for package-level functions); name "*"
+// means every exported function of the package.
+var detRoots = []struct {
+	pkg, recv, name string
+}{
+	// Canonical-key construction: synth dedupe keys are canon.Key /
+	// canon.ProgramKey outputs.
+	{"memsynth/internal/canon", "", "*"},
+	// Options normalization feeds every store digest and cache key.
+	{"memsynth/internal/synth", "Options", "Normalize"},
+	// Content-addressed store digests.
+	{"memsynth/internal/store", "", "Digest"},
+	{"memsynth/internal/store", "", "DigestModel"},
+}
+
+// DetPath forbids nondeterminism inside the digest / normalization /
+// canonical-key call graph. Roots are the detRoots table plus any
+// function annotated //memvet:detroot (directly above the declaration);
+// the graph is the static call graph over the module's own functions —
+// calls through interfaces or function values are not followed, so the
+// check is sound for the direct plumbing and silent about dynamic
+// dispatch (DESIGN.md §16 records this limit).
+//
+// Inside the reachable set three things are findings:
+//
+//   - time.Now / time.Since / time.Until: wall-clock in a digest.
+//   - package-level math/rand and math/rand/v2 calls: the global source
+//     is seeded per process. Methods on an explicit *rand.Rand are
+//     allowed — a fixed-seed generator is deterministic by construction.
+//   - fmt formatting of a map-typed argument: fmt sorts map keys today,
+//     but the digest grammar must not lean on fmt internals; marshal
+//     through a sorted slice instead.
+var DetPath = &Analyzer{
+	Name:      "detpath",
+	Doc:       "the digest/normalization/canonical-key call graph must be deterministic",
+	RunModule: runDetPath,
+}
+
+// fmtFormatFuncs are the fmt functions whose output depends on operand
+// rendering. The writer/format-string leading arguments are skipped by
+// position when checking for map operands.
+var fmtFormatFuncs = map[string]int{ // name -> index of first operand
+	"Sprint": 0, "Sprintln": 0, "Sprintf": 1,
+	"Print": 0, "Println": 0, "Printf": 1,
+	"Fprint": 1, "Fprintln": 1, "Fprintf": 2,
+	"Errorf": 1, "Appendf": 2,
+}
+
+type detFunc struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// root names the root this function is reachable from (itself for
+	// roots); "" while unreached.
+	root string
+}
+
+func runDetPath(pass *ModulePass) {
+	// Index every module function with a body. The side slice keeps the
+	// deterministic declaration order: seeding and reporting iterate it,
+	// never the map, so root attribution in messages is stable run to
+	// run — memvet holds itself to the invariant it enforces.
+	index := make(map[*types.Func]*detFunc)
+	var ordered []*detFunc
+	for _, pkg := range pass.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				df := &detFunc{fn: fn, decl: decl, pkg: pkg}
+				index[fn] = df
+				ordered = append(ordered, df)
+			}
+		}
+	}
+
+	// Seed the worklist with the root set, in declaration order.
+	var work []*detFunc
+	for _, df := range ordered {
+		if name, ok := isDetRoot(df); ok {
+			df.root = name
+			work = append(work, df)
+		}
+	}
+
+	// BFS over static call edges within the module.
+	for len(work) > 0 {
+		df := work[0]
+		work = work[1:]
+		ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(df.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if target, ok := index[callee]; ok && target.root == "" {
+				target.root = df.root
+				work = append(work, target)
+			}
+			return true
+		})
+	}
+
+	// Check every reachable body for forbidden constructs.
+	for _, df := range ordered {
+		if df.root == "" {
+			continue
+		}
+		checkDetBody(pass, df)
+	}
+}
+
+// isDetRoot reports whether df is a deterministic-path root, returning
+// its display name.
+func isDetRoot(df *detFunc) (string, bool) {
+	display := df.fn.Pkg().Name() + "." + df.fn.Name()
+	if recv := recvTypeName(df.fn); recv != "" {
+		display = df.fn.Pkg().Name() + "." + recv + "." + df.fn.Name()
+	}
+	if df.pkg.Annotations().Lookup(df.decl.Pos(), AnnotDetRoot) != nil {
+		return display, true
+	}
+	for _, r := range detRoots {
+		if r.pkg != df.fn.Pkg().Path() || r.recv != recvTypeName(df.fn) {
+			continue
+		}
+		if r.name == df.fn.Name() || (r.name == "*" && df.fn.Exported()) {
+			return display, true
+		}
+	}
+	return "", false
+}
+
+func recvTypeName(fn *types.Func) string {
+	recv := funcSig(fn).Recv()
+	if recv == nil {
+		return ""
+	}
+	named, _ := namedType(recv.Type())
+	if named == nil {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+func checkDetBody(pass *ModulePass, df *detFunc) {
+	info := df.pkg.Info
+	ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		switch path := f.Pkg().Path(); {
+		case path == "time" && (f.Name() == "Now" || f.Name() == "Since" || f.Name() == "Until"):
+			pass.Reportf(call.Pos(), "time.%s inside the deterministic digest path (reachable from %s)", f.Name(), df.root)
+		case (path == "math/rand" || path == "math/rand/v2") && funcSig(f).Recv() == nil &&
+			!strings.HasPrefix(f.Name(), "New"):
+			// New/NewSource/NewPCG/... are deterministic constructors — the
+			// sanctioned fixed-seed escape hatch — so only the global-source
+			// package functions (Intn, Perm, Shuffle, ...) are findings.
+			pass.Reportf(call.Pos(), "global %s.%s inside the deterministic digest path (reachable from %s); use a fixed-seed *rand.Rand if randomness is really wanted",
+				f.Pkg().Name(), f.Name(), df.root)
+		case path == "fmt" && funcSig(f).Recv() == nil:
+			first, ok := fmtFormatFuncs[f.Name()]
+			if !ok {
+				return true
+			}
+			for i := first; i < len(call.Args); i++ {
+				if isMapType(info.TypeOf(call.Args[i])) {
+					pass.Reportf(call.Args[i].Pos(), "fmt.%s formats a map inside the deterministic digest path (reachable from %s); iterate sorted keys instead of leaning on fmt's key sorting",
+						f.Name(), df.root)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"memsynth/internal/analysis"
+	"memsynth/internal/analysis/analysistest"
+)
+
+// TestDetPath covers both root sources: a //memvet:detroot annotation
+// (package detpath) and the built-in table's canon wildcard entry
+// (shadow package memsynth/internal/canon).
+func TestDetPath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetPath,
+		"detpath", "memsynth/internal/canon")
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcSig returns f's signature. (*types.Func).Signature only exists
+// from go1.23; the type assertion keeps the module buildable at its
+// declared go 1.22.
+func funcSig(f *types.Func) *types.Signature {
+	return f.Type().(*types.Signature)
+}
+
+// calleeFunc resolves the static callee of call: a package-level function
+// or a concrete method, nil for builtins, function values, and interface
+// dispatch the type checker cannot pin to one body.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isFunc reports whether f is the package-level function pkgPath.name.
+func isFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath &&
+		f.Name() == name && funcSig(f).Recv() == nil
+}
+
+// namedType unwraps pointers and returns the named type and its
+// package path, or nil.
+func namedType(t types.Type) (*types.Named, string) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	return n, n.Obj().Pkg().Path()
+}
+
+// sameRef reports whether a and b are syntactically the same reference
+// chain resolving to the same objects — the "definitely aliases" check.
+// It recognizes identifiers and selector chains (x, x.f, x.f.g); anything
+// else (index expressions, calls) is conservatively not-same.
+func sameRef(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := info.Uses[ae], info.Uses[be]
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ao, bo := info.Uses[ae.Sel], info.Uses[be.Sel]
+		return ao != nil && ao == bo && sameRef(info, ae.X, be.X)
+	}
+	return false
+}
+
+// usesAnyObject reports whether expr mentions any object in objs.
+func usesAnyObject(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isSliceType reports whether t's core type is a slice.
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isStringType reports whether t's basic kind is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

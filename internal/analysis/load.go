@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader type-checks packages with nothing beyond the standard
+// library: `go list -export` compiles every dependency into the build
+// cache and reports the export-data file per import path, and the
+// stdlib gc importer consumes those files through a lookup function.
+// This is the same shape golang.org/x/tools/go/packages has in
+// NeedTypes mode, minus the dependency — and it doubles as the "facts
+// cache": a warm build cache makes a memvet run incremental, so CI
+// caches GOCACHE between runs (ci.yml) instead of a bespoke facts file.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads, parses, and type-checks the non-test sources of
+// every package matching patterns, resolved relative to dir (a directory
+// inside the module). Test files are not analyzed: the invariants memvet
+// proves live in shipped code, and _test.go sources may not even build
+// into export data without synthetic test packages.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	var loadErrs []error
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			loadErrs = append(loadErrs, err)
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(loadErrs) > 0 {
+		return pkgs, errors.Join(loadErrs...)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		listed = append(listed, p)
+	}
+	return listed, nil
+}
+
+// exportImporter returns a gc-export-data importer resolving import
+// paths through the exports map (path -> export file).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// newTypeInfo allocates the go/types fact maps the analyzers consume.
+func newTypeInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypeInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info, Fset: fset}, nil
+}
+
+// StdlibExports resolves export-data files for the given standard-library
+// import paths and their dependencies, for type-checking source trees
+// that live outside the module (the analysistest fixtures). dir is any
+// directory the go tool can run in.
+func StdlibExports(dir string, paths ...string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckSource parses and type-checks one package held as in-memory or
+// on-disk source files outside any module, resolving imports first
+// through deps (already-checked packages, e.g. fixture stubs of
+// internal/relation), then through the exports map. It is the
+// analysistest loader.
+func CheckSource(fset *token.FileSet, path string, filenames []string, deps map[string]*types.Package, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	fallback := exportImporter(fset, exports)
+	imp := &chainImporter{deps: deps, fallback: fallback}
+	info := newTypeInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info, Fset: fset}, nil
+}
+
+type chainImporter struct {
+	deps     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.deps[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"memsynth/internal/analysis"
+	"memsynth/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "maporder")
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"memsynth/internal/analysis"
+	"memsynth/internal/analysis/analysistest"
+)
+
+// TestPoolEscape runs the fixtures for both a non-owner package (all the
+// escape shapes) and a shadowed owner package (allowlisted, stays clean).
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PoolEscape,
+		"poolescape", "memsynth/internal/minimal")
+}

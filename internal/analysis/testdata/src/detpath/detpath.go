@@ -1,0 +1,36 @@
+// Package detpath exercises the deterministic-call-graph checker via a
+// //memvet:detroot-annotated root.
+package detpath
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+//memvet:detroot fixture digest root
+func Digest(m map[string]int) string {
+	shuffleSeeded()
+	return renderDigest(m)
+}
+
+// renderDigest is reachable from Digest, so its body is checked.
+func renderDigest(m map[string]int) string {
+	stamp := time.Now()                                   // want `time.Now inside the deterministic digest path .reachable from detpath.Digest`
+	salt := rand.Intn(16)                                 // want `global rand.Intn inside the deterministic digest path`
+	return fmt.Sprintf("%d-%d-%v", stamp.Unix(), salt, m) // want `fmt.Sprintf formats a map inside the deterministic digest path`
+}
+
+// shuffleSeeded is on the digest path but uses only a fixed-seed
+// generator: the rand.New/rand.NewSource constructors and methods on an
+// explicit *rand.Rand are deterministic. Pinned false-positive
+// regression case.
+func shuffleSeeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(16)
+}
+
+// notOnThePath is never called from a root: wall-clock here is fine.
+func notOnThePath() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,32 @@
+// Package inplacealias exercises the aliasing-contract table for
+// internal/relation's in-place operations.
+package inplacealias
+
+import "memsynth/internal/relation"
+
+type env struct {
+	scratch relation.Rel
+}
+
+func violations(a, b relation.Rel, e *env) {
+	a.JoinInto(b, b)               // want `aliasing violation in a.JoinInto: dst must not alias s`
+	a.UnionWith(a)                 // want `aliasing violation in a.UnionWith`
+	a.IntersectWith(a)             // want `aliasing violation in a.IntersectWith`
+	a.MinusWith(a)                 // want `spell it Clear`
+	a.CopyFrom(a)                  // want `aliasing violation in a.CopyFrom`
+	e.scratch.UnionWith(e.scratch) // want `aliasing violation in e.scratch.UnionWith`
+}
+
+// dstAliasesReceiver is the pinned false-positive regression case: the
+// JoinInto contract explicitly allows dst to alias the receiver (row i
+// is consumed before it is overwritten), so this must stay clean.
+func dstAliasesReceiver(a, b relation.Rel) {
+	a.JoinInto(b, a)
+	a.UnionWith(b)
+}
+
+// annotated self-union is deliberate and silenced.
+func annotated(a relation.Rel) {
+	//memvet:aliasok idempotence probe: self-union must leave a unchanged
+	a.UnionWith(a)
+}

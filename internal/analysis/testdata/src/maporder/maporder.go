@@ -1,0 +1,161 @@
+// Package maporder exercises the map-iteration-order checker: direct
+// in-loop emissions, deferred collector verdicts, the sanctioned
+// sort-after-collect idiom, and the annotation grammar.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func printUnsorted(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt output`
+		fmt.Println(k, v)
+	}
+}
+
+func buildUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order reaches a WriteString call`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func concatUnsorted(m map[string]int) string {
+	s := ""
+	for k := range m { // want `string concatenation into an outer variable`
+		s += k
+	}
+	return s
+}
+
+func sendUnsorted(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+func returnUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `a return of the collected slice`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func encodeUnsorted(enc *json.Encoder, m map[string]int) {
+	var keys []string
+	for k := range m { // want `a call with the collected slice`
+		keys = append(keys, k)
+	}
+	enc.Encode(keys)
+}
+
+func iterateUnsorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m { // want `fmt output while iterating the unsorted collected slice`
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// returnSorted is the sanctioned sort-after-collect idiom: clean.
+func returnSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lenIsFine pins the false positive where a len() use of the collector
+// was counted as ordering-relevant: length is order-independent.
+func lenIsFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// copyMap pins the map-to-map false positive: insertion order into a map
+// is unobservable, so no sort is needed.
+func copyMap(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+type listResponse struct {
+	Items []string
+	Count int
+}
+
+// fieldCollectorSorted pins the statusz-handler shape: the collector is
+// a struct field, sorted in place before the struct is encoded. Clean.
+func fieldCollectorSorted(w io.Writer, m map[string]int) {
+	var resp listResponse
+	for k := range m {
+		resp.Items = append(resp.Items, k)
+	}
+	resp.Count = len(resp.Items)
+	sort.Strings(resp.Items)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// fieldCollectorUnsorted passes the whole struct out with the field
+// still unsorted: the bytes leave in iteration order.
+func fieldCollectorUnsorted(w io.Writer, m map[string]int) {
+	var resp listResponse
+	for k := range m { // want `a call with the struct holding the collected slice`
+		resp.Items = append(resp.Items, k)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// iterateCounting consumes the unsorted collector without emitting:
+// a commutative reduction needs no sort. Clean.
+func iterateCounting(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, k := range keys {
+		total += len(k)
+	}
+	return total
+}
+
+// setSemantics sends in iteration order deliberately; the annotation is
+// load-bearing (it suppresses the channel-send finding) so it is clean.
+func setSemantics(m map[string]int, sink chan string) {
+	//memvet:ordered receiver treats the stream as an unordered set
+	for k := range m {
+		sink <- k
+	}
+}
+
+// staleAnnotation's loop emits nothing, so the annotation suppresses
+// nothing and is itself reported.
+func staleAnnotation(m map[string]int) int {
+	n := 0
+	//memvet:ordered nothing below depends on order // want `unused //memvet:ordered annotation`
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package canon shadows memsynth/internal/canon: every exported function
+// is a detpath root via the built-in table, with no annotation needed.
+package canon
+
+import "time"
+
+// Key is a root through the {canon, "*"} table entry.
+func Key(parts []string) string {
+	if len(parts) == 0 {
+		_ = time.Now() // want `time.Now inside the deterministic digest path .reachable from canon.Key`
+	}
+	return ""
+}
+
+// helper is unexported and unreachable from a root: not checked.
+func helper() time.Time { return time.Now() }

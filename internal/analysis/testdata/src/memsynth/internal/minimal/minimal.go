@@ -1,0 +1,16 @@
+// Package minimal shadows an owner package: poolescape skips packages on
+// the owner allowlist, so storing a view in a struct field here is clean.
+// Pinned false-positive regression case for the allowlist.
+package minimal
+
+import "memsynth/internal/exec"
+
+type worker struct {
+	view *exec.View
+}
+
+func newWorker(c *exec.StaticCtx) *worker {
+	w := &worker{}
+	w.view = c.NewView()
+	return w
+}

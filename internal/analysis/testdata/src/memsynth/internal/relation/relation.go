@@ -1,0 +1,21 @@
+// Package relation is a miniature stub of memsynth/internal/relation:
+// just enough surface for the inplacealias fixtures to type-check. The
+// analyzer keys on the import path, the Rel receiver type name, and the
+// method names, all of which match the real package.
+package relation
+
+// Rel is a value struct sharing its rows slice, like the real one.
+type Rel struct {
+	n    int
+	rows []uint64
+}
+
+// New returns an empty n-event relation.
+func New(n int) Rel { return Rel{n: n, rows: make([]uint64, n*((n+63)/64))} }
+
+func (r Rel) Clear()              {}
+func (r Rel) CopyFrom(s Rel)      {}
+func (r Rel) UnionWith(s Rel)     {}
+func (r Rel) IntersectWith(s Rel) {}
+func (r Rel) MinusWith(s Rel)     {}
+func (r Rel) JoinInto(s, dst Rel) {}

@@ -1,6 +1,7 @@
 package cat
 
 import (
+	"sort"
 	"strings"
 
 	"memsynth/internal/exec"
@@ -393,16 +394,8 @@ func keyList[V any](m map[string]V) string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	return strings.Join(keys, ", ")
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // --- vocabulary ---

@@ -32,20 +32,23 @@ import (
 	"strings"
 
 	"memsynth/internal/cat"
+	"memsynth/internal/findings"
 	"memsynth/internal/memmodel"
 )
 
-// Severity grades a finding.
-type Severity string
+// Severity grades a finding. It is the shared internal/findings scale,
+// aliased so catlint and memvet (internal/analysis) report through one
+// JSON schema.
+type Severity = findings.Severity
 
 const (
 	// SevError marks definitions that are broken or certainly wrong: they
 	// fail to compile, or would make synthesis misbehave (e.g. a cyclic
 	// demotion ladder). Model registration rejects these.
-	SevError Severity = "error"
+	SevError = findings.SevError
 	// SevWarning marks definitions that compile but look unintended: dead
 	// bindings, vacuous axioms, unrelaxable vocabulary.
-	SevWarning Severity = "warning"
+	SevWarning = findings.SevWarning
 )
 
 // Finding codes, the stable vocabulary of the analysis (DESIGN.md §11).
@@ -67,26 +70,11 @@ const (
 
 // Finding is one diagnostic, positioned in the definition source (line and
 // column are 1-based; 0 when the finding has no position, e.g. tier-2
-// checks of a model without source).
-type Finding struct {
-	Code     string   `json:"code"`
-	Severity Severity `json:"severity"`
-	Line     int      `json:"line,omitempty"`
-	Col      int      `json:"col,omitempty"`
-	Msg      string   `json:"msg"`
-}
-
-// Pos returns the finding's source position.
-func (f Finding) Pos() cat.Pos { return cat.Pos{Line: f.Line, Col: f.Col} }
-
-// String renders the finding in the conventional file-less compiler form
-// "line:col: severity: code: message".
-func (f Finding) String() string {
-	if f.Line == 0 && f.Col == 0 {
-		return fmt.Sprintf("%s: %s: %s", f.Severity, f.Code, f.Msg)
-	}
-	return fmt.Sprintf("%d:%d: %s: %s: %s", f.Line, f.Col, f.Severity, f.Code, f.Msg)
-}
+// checks of a model without source). It is the shared internal/findings
+// schema; catlint never sets the File field because the definition text
+// is the unit of linting here and Report.Format prefixes the caller's
+// path.
+type Finding = findings.Finding
 
 // AxiomCheck is the tier-2 verdict for one axiom. Witness, when the axiom
 // is neither vacuous nor redundant, is a program and outcome the axiom

@@ -539,6 +539,10 @@ func (c *Coordinator) monitor() {
 			for _, ss := range w.assigned {
 				orphans = append(orphans, ss)
 			}
+			// Requeue in original dispatch order: merge is index-keyed
+			// and deterministic regardless, but a stable steal order
+			// keeps retry scheduling and logs reproducible.
+			sort.Slice(orphans, func(i, j int) bool { return orphans[i].seq < orphans[j].seq })
 			c.logf("cluster: worker %s (%s) expired after %s silence; reassigning %d shards",
 				id, w.name, now.Sub(w.lastSeen).Round(time.Millisecond), len(orphans))
 			for _, ss := range orphans {
@@ -717,6 +721,10 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 		for _, ss := range m.assigned {
 			orphans = append(orphans, ss)
 		}
+		// Same stable steal order as heartbeat expiry: merge is
+		// index-keyed either way, but requeue order should not depend on
+		// map iteration.
+		sort.Slice(orphans, func(i, j int) bool { return orphans[i].seq < orphans[j].seq })
 		for _, ss := range orphans {
 			c.requeueLocked(ss, "shards_released")
 		}

@@ -1,0 +1,54 @@
+// Package findings is the shared diagnostic schema of the repository's
+// two static analyzers: catlint (which checks cat model definitions,
+// DESIGN.md §11) and memvet (which checks the engine's own Go source,
+// DESIGN.md §16). Both linters render findings through this one type so
+// their -json outputs interoperate: a CI consumer can parse either
+// stream with the same decoder.
+//
+// The schema is deliberately small: a stable machine-readable code, a
+// severity, an optional source position, and a human message. catlint
+// findings carry no File (the definition text is the unit of linting and
+// the CLI prefixes the path); memvet findings always carry File because
+// one run spans the whole tree.
+package findings
+
+import "fmt"
+
+// Severity grades a finding.
+type Severity string
+
+const (
+	// SevError marks findings that are certainly wrong and block the
+	// gate: broken definitions for catlint, violated engine invariants
+	// for memvet.
+	SevError Severity = "error"
+	// SevWarning marks findings that compile/run but look unintended.
+	SevWarning Severity = "warning"
+)
+
+// Finding is one diagnostic. Line and Col are 1-based; 0 means the
+// finding has no position. File is empty for single-source linters
+// (catlint) whose callers know the path.
+type Finding struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file,omitempty"`
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Msg      string   `json:"msg"`
+}
+
+// String renders the finding in the conventional compiler form
+// "[file:]line:col: severity: code: message".
+func (f Finding) String() string {
+	switch {
+	case f.File != "" && (f.Line != 0 || f.Col != 0):
+		return fmt.Sprintf("%s:%d:%d: %s: %s: %s", f.File, f.Line, f.Col, f.Severity, f.Code, f.Msg)
+	case f.File != "":
+		return fmt.Sprintf("%s: %s: %s: %s", f.File, f.Severity, f.Code, f.Msg)
+	case f.Line == 0 && f.Col == 0:
+		return fmt.Sprintf("%s: %s: %s", f.Severity, f.Code, f.Msg)
+	default:
+		return fmt.Sprintf("%d:%d: %s: %s: %s", f.Line, f.Col, f.Severity, f.Code, f.Msg)
+	}
+}

@@ -1,6 +1,8 @@
 package rml
 
 import (
+	"sort"
+
 	"memsynth/internal/litmus"
 	"memsynth/internal/relation"
 )
@@ -176,11 +178,18 @@ func (e *TSOEncoding) AssertValid() {
 }
 
 // AssertForbidden adds the negated conjunction of the axioms: models are
-// the forbidden executions.
+// the forbidden executions. The axioms are conjoined in sorted-name
+// order so the emitted clause stream — and therefore the solver's
+// decision trace — is identical run to run.
 func (e *TSOEncoding) AssertForbidden() {
-	var fs []Formula
-	for _, f := range e.Axioms {
-		fs = append(fs, f)
+	names := make([]string, 0, len(e.Axioms))
+	for name := range e.Axioms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fs := make([]Formula, 0, len(names))
+	for _, name := range names {
+		fs = append(fs, e.Axioms[name])
 	}
 	e.Problem.Fact(Not(And(fs...)))
 }

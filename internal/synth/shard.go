@@ -122,12 +122,15 @@ func (c *claimMap) Offer(key string, seq int64, t *litmus.Test) bool {
 	return false
 }
 
-// Winners returns every class representative, in unspecified order.
+// Winners returns every class representative, in unspecified order: the
+// only caller immediately re-sorts by generation seq, which is what makes
+// suites independent of both map iteration and worker interleaving.
 func (c *claimMap) Winners() []progClaim {
 	var out []progClaim
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		//memvet:ordered the caller re-sorts by generation seq
 		for _, pc := range sh.m {
 			out = append(out, pc)
 		}
